@@ -1,0 +1,47 @@
+package geofootprint
+
+// R-tree fanout ablation: how the node capacity M shapes build and
+// query cost for the RoI index. Run with -bench=Fanout.
+
+import (
+	"testing"
+
+	"geofootprint/internal/search"
+)
+
+func BenchmarkAblationFanoutBuild(b *testing.B) {
+	w := workload(b)
+	for _, m := range []int{8, 32, 128} {
+		b.Run(fanoutName(m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				search.NewRoIIndex(w.DB, search.BuildInsert, m)
+			}
+		})
+	}
+}
+
+func BenchmarkAblationFanoutQuery(b *testing.B) {
+	w := workload(b)
+	n := w.DB.Len()
+	for _, m := range []int{8, 32, 128} {
+		ix := search.NewRoIIndex(w.DB, search.BuildInsert, m)
+		b.Run(fanoutName(m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ix.TopKIterative(w.DB.Footprints[i%n], 5)
+			}
+		})
+	}
+}
+
+func fanoutName(m int) string {
+	switch m {
+	case 8:
+		return "M=8"
+	case 32:
+		return "M=32"
+	default:
+		return "M=128"
+	}
+}

@@ -1,0 +1,108 @@
+package geofootprint
+
+// Scaling benchmarks: complexity validation for the core algorithms.
+// Algorithm 2 (norm) is O(n²); Algorithm 3 (sweep similarity)
+// O((n+m)²); Algorithm 4 (join) O(n log n + K). Run with
+//
+//	go test -bench=BySize -benchmem
+//
+// and compare per-op times across sizes.
+
+import (
+	"math/rand"
+	"testing"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+)
+
+// scaledFootprint draws n paper-sized regions clustered in a few
+// hotspots so that overlap (and hence join output K) stays realistic
+// as n grows.
+func scaledFootprint(rng *rand.Rand, n int) core.Footprint {
+	hot := 1 + n/8
+	f := make(core.Footprint, n)
+	for i := range f {
+		cx := float64(i%hot) / float64(hot)
+		cy := float64((i*7)%hot) / float64(hot)
+		x := cx + rng.Float64()*0.02
+		y := cy + rng.Float64()*0.02
+		f[i] = core.Region{
+			Rect:   geom.Rect{MinX: x, MinY: y, MaxX: x + 0.02, MaxY: y + 0.017},
+			Weight: 1,
+		}
+	}
+	core.SortByMinX(f)
+	return f
+}
+
+func benchSizes(b *testing.B, run func(b *testing.B, n int)) {
+	for _, n := range []int{4, 16, 64, 256} {
+		b.Run(sizeName(n), func(b *testing.B) { run(b, n) })
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 4:
+		return "n=4"
+	case 16:
+		return "n=16"
+	case 64:
+		return "n=64"
+	default:
+		return "n=256"
+	}
+}
+
+func BenchmarkNormBySize(b *testing.B) {
+	benchSizes(b, func(b *testing.B, n int) {
+		rng := rand.New(rand.NewSource(int64(n)))
+		f := scaledFootprint(rng, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.Norm(f)
+		}
+	})
+}
+
+func BenchmarkSimilaritySweepBySize(b *testing.B) {
+	benchSizes(b, func(b *testing.B, n int) {
+		rng := rand.New(rand.NewSource(int64(n)))
+		fr := scaledFootprint(rng, n)
+		fs := scaledFootprint(rng, n)
+		nr, ns := core.Norm(fr), core.Norm(fs)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.SimilaritySweep(fr, fs, nr, ns)
+		}
+	})
+}
+
+func BenchmarkSimilarityJoinBySize(b *testing.B) {
+	benchSizes(b, func(b *testing.B, n int) {
+		rng := rand.New(rand.NewSource(int64(n)))
+		fr := scaledFootprint(rng, n)
+		fs := scaledFootprint(rng, n)
+		nr, ns := core.Norm(fr), core.Norm(fs)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.SimilarityJoin(fr, fs, nr, ns)
+		}
+	})
+}
+
+func BenchmarkDisjointRegionsBySize(b *testing.B) {
+	benchSizes(b, func(b *testing.B, n int) {
+		rng := rand.New(rand.NewSource(int64(n)))
+		f := scaledFootprint(rng, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.DisjointRegions(f)
+		}
+	})
+}

@@ -1,0 +1,306 @@
+package geofootprint
+
+// Benchmarks mapping one-to-one onto the paper's evaluation
+// (Section 7). Each table/figure has a bench target that exercises the
+// same operation the paper times; `go test -bench=. -benchmem` prints
+// them all. The full side-by-side against the paper's numbers is
+// produced by cmd/geobench (see EXPERIMENTS.md).
+//
+//	Table 2  -> BenchmarkTable2FootprintExtraction, BenchmarkTable2NormComputation
+//	Table 3  -> BenchmarkTable3SimilaritySweep, BenchmarkTable3SimilarityJoin
+//	Table 4  -> BenchmarkTable4BuildRoIIndex, BenchmarkTable4BuildUserCentricIndex
+//	Fig 3(a) -> BenchmarkFig3aIterative, BenchmarkFig3aBatch, BenchmarkFig3aUserCentric
+//	Fig 3(b) -> BenchmarkFig3bDistanceMatrix, BenchmarkFig3bClustering
+//	Table 1 has no timing — BenchmarkTable1Extraction covers the
+//	generation+extraction pipeline that produces its statistics.
+//
+// Ablations (design choices called out in DESIGN.md):
+//
+//	BenchmarkAblationSimilarityWithNorms — Alg. 3 computing norms in-pass
+//	BenchmarkAblationSTRBulkLoad         — STR vs insertion build
+//	BenchmarkAblationWeightedSimilarity  — Section 8 duration weights
+//	BenchmarkAblationSimilarity3D        — Section 8 3D sweep-plane
+//	BenchmarkAblationExtractNaive        — Algorithm 1 vs prose reference
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"geofootprint/internal/bench"
+	"geofootprint/internal/cluster"
+	"geofootprint/internal/core"
+	"geofootprint/internal/d3"
+	"geofootprint/internal/extract"
+	"geofootprint/internal/geom"
+	"geofootprint/internal/search"
+	"geofootprint/internal/synth"
+	"geofootprint/internal/traj"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixture     *bench.Workload
+)
+
+// workload returns a shared ≈1000-user Part A world (generated once;
+// benchmarks must not mutate it).
+func workload(b *testing.B) *bench.Workload {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		w, err := bench.NewWorkload("A", 0.0036, 0)
+		if err != nil {
+			panic(err)
+		}
+		fixture = w
+	})
+	return fixture
+}
+
+// sessionPool returns flat trajectories for extraction benchmarks.
+func sessionPool(w *bench.Workload) []traj.Trajectory {
+	var out []traj.Trajectory
+	for i := range w.Dataset.Users {
+		out = append(out, w.Dataset.Users[i].Sessions...)
+	}
+	return out
+}
+
+func BenchmarkTable1Extraction(b *testing.B) {
+	// The full pipeline behind Table 1's statistics: generate one
+	// user's trajectories and extract the footprint.
+	cfg, _ := synth.PartConfig("A", 0.0001)
+	cfg.Users = 1
+	ecfg := bench.ExtractionConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		ds, _, err := synth.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		extract.ExtractUser(&ds.Users[0], ecfg)
+	}
+}
+
+func BenchmarkTable2FootprintExtraction(b *testing.B) {
+	w := workload(b)
+	sessions := sessionPool(w)
+	cfg := bench.ExtractionConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		extract.Extract(sessions[i%len(sessions)], cfg)
+	}
+}
+
+func BenchmarkTable2NormComputation(b *testing.B) {
+	w := workload(b)
+	fps := w.DB.Footprints
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Norm(fps[i%len(fps)])
+	}
+}
+
+func BenchmarkTable3SimilaritySweep(b *testing.B) {
+	w := workload(b)
+	db := w.DB
+	n := db.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := i%n, (i*7+1)%n
+		core.SimilaritySweep(db.Footprints[a], db.Footprints[c], db.Norms[a], db.Norms[c])
+	}
+}
+
+func BenchmarkTable3SimilarityJoin(b *testing.B) {
+	w := workload(b)
+	db := w.DB
+	n := db.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := i%n, (i*7+1)%n
+		core.SimilarityJoin(db.Footprints[a], db.Footprints[c], db.Norms[a], db.Norms[c])
+	}
+}
+
+func BenchmarkTable4BuildRoIIndex(b *testing.B) {
+	w := workload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		search.NewRoIIndex(w.DB, search.BuildInsert, 0)
+	}
+}
+
+func BenchmarkTable4BuildUserCentricIndex(b *testing.B) {
+	w := workload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		search.NewUserCentricIndex(w.DB, search.BuildInsert, 0)
+	}
+}
+
+func BenchmarkFig3aIterative(b *testing.B) {
+	w := workload(b)
+	ix := search.NewRoIIndex(w.DB, search.BuildInsert, 0)
+	n := w.DB.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.TopKIterative(w.DB.Footprints[i%n], 5)
+	}
+}
+
+func BenchmarkFig3aBatch(b *testing.B) {
+	w := workload(b)
+	ix := search.NewRoIIndex(w.DB, search.BuildInsert, 0)
+	n := w.DB.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.TopKBatch(w.DB.Footprints[i%n], 5)
+	}
+}
+
+func BenchmarkFig3aUserCentric(b *testing.B) {
+	w := workload(b)
+	ix := search.NewUserCentricIndex(w.DB, search.BuildInsert, 0)
+	n := w.DB.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.TopK(w.DB.Footprints[i%n], 5)
+	}
+}
+
+func BenchmarkFig3bDistanceMatrix(b *testing.B) {
+	w := workload(b)
+	idxs := make([]int, 200)
+	for i := range idxs {
+		idxs[i] = i % w.DB.Len()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.DistanceMatrix(w.DB, idxs, 0)
+	}
+}
+
+func BenchmarkFig3bClustering(b *testing.B) {
+	w := workload(b)
+	idxs := make([]int, 200)
+	for i := range idxs {
+		idxs[i] = i % w.DB.Len()
+	}
+	base := cluster.DistanceMatrix(w.DB, idxs, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := cluster.NewMatrix(base.N())
+		for x := 0; x < base.N(); x++ {
+			for y := x + 1; y < base.N(); y++ {
+				m.Set(x, y, base.At(x, y))
+			}
+		}
+		b.StartTimer()
+		if _, err := cluster.Agglomerative(m, 9, cluster.AverageLink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSimilarityWithNorms(b *testing.B) {
+	// Algorithm 3's combined variant: norms derived in the same
+	// sweep instead of being precomputed (Section 5.2).
+	w := workload(b)
+	db := w.DB
+	n := db.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := i%n, (i*7+1)%n
+		core.SimilarityWithNorms(db.Footprints[a], db.Footprints[c])
+	}
+}
+
+func BenchmarkAblationSTRBulkLoad(b *testing.B) {
+	w := workload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		search.NewRoIIndex(w.DB, search.BuildSTR, 0)
+	}
+}
+
+func BenchmarkAblationWeightedSimilarity(b *testing.B) {
+	// Section 8 duration weights: same algorithms, weighted regions.
+	w := workload(b)
+	rng := rand.New(rand.NewSource(3))
+	weighted := make([]core.Footprint, len(w.DB.Footprints))
+	norms := make([]float64, len(weighted))
+	for i, f := range w.DB.Footprints {
+		g := make(core.Footprint, len(f))
+		for j, r := range f {
+			g[j] = core.Region{Rect: r.Rect, Weight: 3 + rng.Float64()*9}
+		}
+		weighted[i] = g
+		norms[i] = core.Norm(g)
+	}
+	n := len(weighted)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := i%n, (i*7+1)%n
+		core.SimilarityJoin(weighted[a], weighted[c], norms[a], norms[c])
+	}
+}
+
+func BenchmarkAblationSimilarity3D(b *testing.B) {
+	// Section 8's sweep-plane similarity on synthetic 3D footprints
+	// of paper-like cardinality.
+	rng := rand.New(rand.NewSource(4))
+	mk := func() d3.Footprint3 {
+		f := make(d3.Footprint3, 17)
+		for i := range f {
+			x, y, z := rng.Float64(), rng.Float64(), rng.Float64()
+			f[i] = d3.Region3{
+				Box: geom.Box3{
+					MinX: x, MinY: y, MinZ: z,
+					MaxX: x + 0.02, MaxY: y + 0.017, MaxZ: z + 0.02,
+				},
+				Weight: 1,
+			}
+		}
+		return f
+	}
+	const pool = 64
+	fps := make([]d3.Footprint3, pool)
+	for i := range fps {
+		fps[i] = mk()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d3.Similarity(fps[i%pool], fps[(i*7+1)%pool])
+	}
+}
+
+func BenchmarkAblationExtractNaive(b *testing.B) {
+	// The prose reference of Algorithm 1: how much the incremental
+	// window plus back-tracking buys.
+	w := workload(b)
+	sessions := sessionPool(w)
+	cfg := bench.ExtractionConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		extract.ExtractNaive(sessions[i%len(sessions)], cfg)
+	}
+}

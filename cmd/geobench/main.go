@@ -1,0 +1,270 @@
+// Command geobench regenerates every table and figure of the paper's
+// evaluation (Section 7) on the synthetic ATC-substitute datasets and
+// prints them next to the paper's published numbers.
+//
+// Absolute times are not expected to match the paper (different
+// hardware, Go vs g++ -O3, and scaled-down datasets unless
+// -scale 1.0); the reproduced quantities are the *relative* results:
+// which method wins, by roughly what factor, and where behaviour
+// crosses over.
+//
+// Usage:
+//
+//	geobench                                   # everything, 5% scale
+//	geobench -exp table3 -scale 0.02 -parts A,B
+//	geobench -exp fig3b -sample 4000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"geofootprint/internal/bench"
+)
+
+// Paper-published values, for side-by-side reporting.
+var (
+	paperTable1 = map[string]bench.Table1Row{
+		"A": {Part: "A", Users: 278000, AvgRegions: 16, AvgXExtent: 0.020145, AvgYExtent: 0.017232},
+		"B": {Part: "B", Users: 236000, AvgRegions: 18, AvgXExtent: 0.019387, AvgYExtent: 0.016651},
+		"C": {Part: "C", Users: 317000, AvgRegions: 20, AvgXExtent: 0.019247, AvgYExtent: 0.016606},
+		"D": {Part: "D", Users: 377000, AvgRegions: 17, AvgXExtent: 0.025416, AvgYExtent: 0.022551},
+	}
+	paperTable2Extract = map[string]float64{"A": 60.09, "B": 56.9, "C": 82.15, "D": 90.33}
+	paperTable2Norm    = map[string]float64{"A": 6.91, "B": 7.84, "C": 7.97, "D": 11.98}
+	paperTable3Alg3    = map[string]float64{"A": 46.24, "B": 59.5, "C": 52.7, "D": 16.39}
+	paperTable3Alg4    = map[string]float64{"A": 1.08, "B": 1.28, "C": 1.46, "D": 0.53}
+	paperTable4RoI     = map[string]float64{"A": 3.54, "B": 3.68, "C": 5.64, "D": 5.57}
+	paperTable4User    = map[string]float64{"A": 0.25, "B": 0.22, "C": 0.31, "D": 0.35}
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("geobench: ")
+
+	exp := flag.String("exp", "all",
+		"experiment: table1, table2, table3, table4, fig3a, fig3b, mbr-sensitivity, tuning, weighted, grid, cluster-methods, scale-sweep, k-sensitivity or all")
+	scale := flag.Float64("scale", 0.05, "fraction of the paper's user counts (1.0 = full size)")
+	partsFlag := flag.String("parts", "A,B,C,D", "comma-separated parts to run")
+	queries := flag.Int("queries", 50, "query users for table3 (paper: 200)")
+	fig3aQueries := flag.Int("fig3a-queries", 200, "queries for fig3a (paper: 1000)")
+	k := flag.Int("k", 5, "K for top-K search experiments")
+	sample := flag.Int("sample", 1500, "user sample for fig3b clustering (paper: 4000)")
+	clusters := flag.Int("clusters", 9, "clusters for fig3b (paper: 9)")
+	workers := flag.Int("workers", 0, "parallel workers for preprocessing (0 = all CPUs)")
+	seed := flag.Int64("seed", 7, "random seed for query sampling")
+	flag.Parse()
+
+	parts := strings.Split(*partsFlag, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	fmt.Printf("geobench: scale=%.3g parts=%s (paper hardware: i9-10900K, g++ -O3; absolute times differ)\n\n",
+		*scale, strings.Join(parts, ","))
+
+	// Fig3b only needs Part A in the paper; build workloads lazily.
+	workloads := make(map[string]*bench.Workload)
+	get := func(part string) *bench.Workload {
+		if w, ok := workloads[part]; ok {
+			return w
+		}
+		w, err := bench.NewWorkload(part, *scale, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		workloads[part] = w
+		return w
+	}
+
+	if want("table1") {
+		fmt.Println("== Table 1: statistics of data and extracted RoIs ==")
+		fmt.Printf("%-5s %12s %12s %12s %12s   (paper: users/avgReg/x/y)\n",
+			"part", "users", "avg#regions", "x-extent", "y-extent")
+		for _, p := range parts {
+			r := bench.Table1(get(p))
+			pp := paperTable1[p]
+			fmt.Printf("%-5s %12d %12.1f %12.6f %12.6f   (%dK / %.0f / %.6f / %.6f)\n",
+				r.Part, r.Users, r.AvgRegions, r.AvgXExtent, r.AvgYExtent,
+				pp.Users/1000, pp.AvgRegions, pp.AvgXExtent, pp.AvgYExtent)
+		}
+		fmt.Println()
+	}
+
+	if want("table2") {
+		fmt.Println("== Table 2: footprint extraction & norm computation time ==")
+		fmt.Printf("%-5s %14s %14s %16s   (paper: extract/norm at full size)\n",
+			"part", "extract (s)", "norms (s)", "footprints/s")
+		for _, p := range parts {
+			r := bench.Table2(get(p))
+			fmt.Printf("%-5s %14s %14s %16.0f   (%.2fs / %.2fs)\n",
+				r.Part, bench.FormatSeconds(r.ExtractSeconds), bench.FormatSeconds(r.NormSeconds),
+				r.FootprintsPerSec, paperTable2Extract[p], paperTable2Norm[p])
+		}
+		fmt.Println()
+	}
+
+	if want("table3") {
+		fmt.Println("== Table 3: avg similarity computation cost (µs) ==")
+		fmt.Printf("%-5s %12s %12s %10s   (paper: alg3/alg4 µs)\n",
+			"part", "Alg3 (µs)", "Alg4 (µs)", "speedup")
+		for _, p := range parts {
+			r := bench.Table3(get(p), *queries, *seed)
+			fmt.Printf("%-5s %12.2f %12.2f %9.1fx   (%.2f / %.2f)\n",
+				r.Part, r.Alg3Micros, r.Alg4Micros, r.SpeedupAlg4,
+				paperTable3Alg3[p], paperTable3Alg4[p])
+		}
+		fmt.Println()
+	}
+
+	if want("table4") {
+		fmt.Println("== Table 4: indexing time for R-tree methods ==")
+		fmt.Printf("%-5s %14s %14s %14s   (paper: RoI/user-centric s)\n",
+			"part", "RoI tree (s)", "user tree (s)", "RoI STR (s)")
+		for _, p := range parts {
+			r := bench.Table4(get(p))
+			fmt.Printf("%-5s %14s %14s %14s   (%.2f / %.2f)\n",
+				r.Part, bench.FormatSeconds(r.RoITreeSeconds),
+				bench.FormatSeconds(r.UserTreeSeconds),
+				bench.FormatSeconds(r.RoITreeSTRSeconds),
+				paperTable4RoI[p], paperTable4User[p])
+		}
+		fmt.Println()
+	}
+
+	if want("fig3a") {
+		fmt.Printf("== Figure 3(a): total runtime of %d top-%d queries (s) ==\n", *fig3aQueries, *k)
+		fmt.Printf("%-5s %14s %14s %14s   (paper shape: user-centric < batch < iterative)\n",
+			"part", "iterative", "batch", "user-centric")
+		for _, p := range parts {
+			r := bench.Fig3a(get(p), *fig3aQueries, *k, *seed)
+			fmt.Printf("%-5s %14s %14s %14s\n",
+				r.Part, bench.FormatSeconds(r.IterativeSeconds),
+				bench.FormatSeconds(r.BatchSeconds),
+				bench.FormatSeconds(r.UserCentricSeconds))
+		}
+		fmt.Println()
+	}
+
+	if want("fig3b") {
+		fmt.Printf("== Figure 3(b): average-link clustering of %d users into %d clusters (Part A) ==\n",
+			*sample, *clusters)
+		res, err := bench.Fig3b(get("A"), *sample, *clusters, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("distance matrix %.2fs, clustering %.2fs, persona purity %.3f\n",
+			res.MatrixSeconds, res.ClusterSeconds, res.PersonaPurity)
+		for c, size := range res.ClusterSizes {
+			fmt.Printf("cluster %d: %4d users, %3d characteristic cells\n",
+				c+1, size, len(res.Regions[c]))
+		}
+		fmt.Println("\ncharacteristic-region map (digit = cluster, '.' = shared/unvisited):")
+		fmt.Print(res.ASCIIMap)
+		fmt.Println()
+	}
+
+	if *exp == "k-sensitivity" {
+		fmt.Printf("== K sensitivity: user-centric search, %d queries (paper: \"time is not affected by K\") ==\n",
+			*fig3aQueries)
+		fmt.Printf("%-6s %12s\n", "K", "total (s)")
+		for _, r := range bench.KSensitivity(get(parts[0]), []int{1, 5, 20, 100}, *fig3aQueries, *seed) {
+			fmt.Printf("%-6d %12s\n", r.K, bench.FormatSeconds(r.Seconds))
+		}
+		fmt.Println()
+	}
+
+	if *exp == "scale-sweep" {
+		fmt.Printf("== Scale sweep: Fig. 3(a) methods vs dataset size (%s, %d top-%d queries) ==\n",
+			parts[0], *fig3aQueries, *k)
+		fmt.Printf("%-8s %10s %14s %14s %14s\n",
+			"scale", "users", "iterative (s)", "batch (s)", "user-centric")
+		rows, err := bench.ScaleSweep(parts[0], []float64{0.01, 0.05, 0.1, 0.2},
+			*fig3aQueries, *k, *workers, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Printf("%-8.2f %10d %14s %14s %14s\n",
+				r.Scale, r.Users, bench.FormatSeconds(r.IterativeSeconds),
+				bench.FormatSeconds(r.BatchSeconds), bench.FormatSeconds(r.UserCentricSeconds))
+		}
+		fmt.Println()
+	}
+
+	if *exp == "cluster-methods" {
+		fmt.Printf("== Ablation: clustering methods on the Fig. 3(b) task (%d users, k=%d) ==\n",
+			*sample, *clusters)
+		rows, err := bench.ClusterMethods(get("A"), *sample, *clusters, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %10s %10s %12s\n", "method", "time (s)", "purity", "silhouette")
+		for _, r := range rows {
+			fmt.Printf("%-15s %10.2f %10.3f %12.3f\n", r.Method, r.Seconds, r.Purity, r.Silhouette)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "grid" {
+		fmt.Println("== Ablation: uniform-grid index vs RoI R-tree (iterative top-k) ==")
+		fmt.Printf("%-8s %16s %16s %14s\n", "gridN", "R-tree (µs)", "grid (µs)", "replication")
+		for _, gn := range []int{16, 32, 64, 128} {
+			row, err := bench.GridComparison(get(parts[0]), 200, *k, gn, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8d %16.1f %16.1f %14.2f\n",
+				row.GridN, row.RTreeMicros, row.GridMicros, row.GridReplication)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "weighted" {
+		fmt.Println("== Ablation: duration weights (Sec. 8) vs unit frequencies ==")
+		res, err := bench.WeightedComparison(get(parts[0]), 200, *k, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("queries: %d, k=%d\n", res.Queries, res.K)
+		fmt.Printf("top-%d Jaccard overlap:  %.3f\n", res.K, res.MeanJaccard)
+		fmt.Printf("top-1 agreement:        %.1f%%\n", 100*res.Top1Agreement)
+		fmt.Printf("query cost: %.1f µs unweighted vs %.1f µs weighted\n",
+			res.UnweightedMicros, res.WeightedMicros)
+		fmt.Println()
+	}
+
+	// The tuning sweep re-extracts the dataset 16 times, so it only
+	// runs when requested explicitly.
+	if *exp == "tuning" {
+		fmt.Println("== Ablation: extraction-parameter sensitivity (Sec. 7 tuning procedure) ==")
+		fmt.Printf("%-8s %-6s %12s %12s %12s %12s %12s\n",
+			"eps", "tau", "avg#regions", "x-extent", "y-extent", "covered", "coverage")
+		w := get(parts[0])
+		epsilons := []float64{0.005, 0.01, 0.02, 0.04}
+		taus := []int{10, 30, 60, 120}
+		for _, s := range bench.Tuning(w, epsilons, taus) {
+			fmt.Printf("%-8.3f %-6d %12.1f %12.5f %12.5f %11.1f%% %11.1f%%\n",
+				s.Epsilon, s.Tau, s.AvgRegions, s.AvgXExtent, s.AvgYExtent,
+				100*s.CoveredUsers, 100*s.AvgCoverage)
+		}
+		fmt.Println()
+	}
+
+	if want("mbr-sensitivity") {
+		fmt.Println("== Ablation: query-MBR size sensitivity (Sec. 7 prose) ==")
+		fmt.Printf("%-8s %14s %18s %14s %12s %12s\n",
+			"spread", "batch (µs)", "user-centric (µs)", "pruned (µs)", "refined", "relevant")
+		rows := bench.MBRSensitivity(get("A"), []float64{0.05, 0.1, 0.2, 0.4, 0.8}, 50, *k, *seed)
+		for _, r := range rows {
+			fmt.Printf("%-8.2f %14.1f %18.1f %14.1f %12.1f %12.1f\n",
+				r.Spread, r.BatchMicros, r.UserCentricMicros, r.PrunedMicros,
+				r.CandidatesRefined, r.CandidatesRelevant)
+		}
+		fmt.Println()
+	}
+}

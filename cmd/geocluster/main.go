@@ -1,0 +1,121 @@
+// Command geocluster reproduces the utility analysis of Section 7 on
+// a FootprintDB: it clusters a user sample by footprint similarity
+// with average-link agglomerative clustering and prints each cluster's
+// characteristic regions as an ASCII map (the textual analogue of
+// Figure 3(b)).
+//
+// Usage:
+//
+//	geocluster -db partA.db -sample 4000 -k 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"geofootprint/internal/cluster"
+	"geofootprint/internal/store"
+	"geofootprint/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("geocluster: ")
+
+	dbPath := flag.String("db", "", "FootprintDB path (required)")
+	sample := flag.Int("sample", 4000, "number of users to sample")
+	k := flag.Int("k", 9, "number of clusters")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	grid := flag.Int("grid", 40, "characteristic-region grid resolution")
+	minOwn := flag.Float64("min-own", 0.25, "min fraction of a cluster covering a characteristic cell")
+	maxOther := flag.Float64("max-other", 0.05, "max fraction of any other cluster covering it")
+	linkName := flag.String("linkage", "average", "linkage: average, single or complete")
+	svgPath := flag.String("svg", "", "also write the characteristic-region map as SVG to this path")
+	dotPath := flag.String("dot", "", "also write the dendrogram as Graphviz DOT to this path")
+	flag.Parse()
+
+	if *dbPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	db, err := store.Load(*dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := db.Len()
+	if *sample > n {
+		*sample = n
+	}
+	var link cluster.Linkage
+	switch *linkName {
+	case "average":
+		link = cluster.AverageLink
+	case "single":
+		link = cluster.SingleLink
+	case "complete":
+		link = cluster.CompleteLink
+	default:
+		log.Fatalf("unknown linkage %q", *linkName)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	idxs := rng.Perm(n)[:*sample]
+
+	start := time.Now()
+	m := cluster.DistanceMatrix(db, idxs, 0)
+	fmt.Printf("distance matrix: %d users, %.2fs\n", *sample, time.Since(start).Seconds())
+
+	start = time.Now()
+	labels, merges, err := cluster.AgglomerativeFull(m, *k, link)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s-link clustering: %.2fs\n", link, time.Since(start).Seconds())
+
+	if *dotPath != "" {
+		dot := cluster.DendrogramDOT(*sample, merges, func(i int) string {
+			return fmt.Sprintf("u%d", db.IDs[idxs[i]])
+		})
+		if err := os.WriteFile(*dotPath, []byte(dot), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dotPath)
+	}
+
+	sizes := make([]int, *k)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	for c, s := range sizes {
+		fmt.Printf("cluster %d: %d users\n", c+1, s)
+	}
+
+	cfg := cluster.CharacteristicConfig{GridN: *grid, MinOwnFrac: *minOwn, MaxOtherFrac: *maxOther}
+	regions, err := cluster.CharacteristicRegions(db, idxs, labels, *k, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for c, rs := range regions {
+		fmt.Printf("cluster %d: %d characteristic cells\n", c+1, len(rs))
+	}
+	fmt.Println("\ncharacteristic-region map (digit = cluster, '.' = shared/unvisited):")
+	fmt.Print(cluster.RenderASCII(regions, *grid))
+
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := viz.ClustersSVG(f, regions, 800, 800); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *svgPath)
+	}
+}

@@ -1,0 +1,54 @@
+// Command geoserve exposes a FootprintDB over HTTP/JSON — the
+// integration point for recommender systems and market-analysis
+// dashboards.
+//
+// Usage:
+//
+//	geoserve -db partA.db -addr :8080
+//
+// Endpoints: see internal/server. Quick check:
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/v1/users/42/similar?k=5&exclude_self=true
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"geofootprint/internal/server"
+	"geofootprint/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("geoserve: ")
+
+	dbPath := flag.String("db", "", "FootprintDB path (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	if *dbPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	start := time.Now()
+	db, err := store.Load(*dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(db)
+	log.Printf("loaded %d users (%d regions) in %.2fs; listening on %s",
+		db.Len(), db.NumRegions(), time.Since(start).Seconds(), *addr)
+
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      srv.Handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	log.Fatal(httpSrv.ListenAndServe())
+}

@@ -1,0 +1,103 @@
+package geofootprint_test
+
+import (
+	"fmt"
+
+	"geofootprint"
+)
+
+// ExampleSimilarity shows the footprint similarity measure on a
+// hand-built pair of footprints (Equation 1 of the paper).
+func ExampleSimilarity() {
+	// F(r): two overlapping regions — the overlap has frequency 2.
+	fr := geofootprint.Footprint{
+		{Rect: geofootprint.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}, Weight: 1},
+		{Rect: geofootprint.Rect{MinX: 2, MinY: 0, MaxX: 6, MaxY: 4}, Weight: 1},
+	}
+	// F(s): one region over the high-frequency area.
+	fs := geofootprint.Footprint{
+		{Rect: geofootprint.Rect{MinX: 3, MinY: 0, MaxX: 5, MaxY: 2}, Weight: 1},
+	}
+	fmt.Printf("%.4f\n", geofootprint.Similarity(fr, fs))
+	// Output: 0.4330
+}
+
+// ExampleExtractRoIs extracts regions of interest from a trajectory
+// with Algorithm 1: the dwell qualifies, the transit does not.
+func ExampleExtractRoIs() {
+	var t geofootprint.Trajectory
+	// Dwell: ten samples jittering around (0.5, 0.5).
+	for i := 0; i < 10; i++ {
+		t = append(t, geofootprint.Location{
+			P: geofootprint.Point{X: 0.5 + float64(i%2)*0.001, Y: 0.5},
+			T: float64(i),
+		})
+	}
+	// Transit: three fast samples.
+	for i := 10; i < 13; i++ {
+		t = append(t, geofootprint.Location{
+			P: geofootprint.Point{X: 0.5 + float64(i-9)*0.1, Y: 0.5},
+			T: float64(i),
+		})
+	}
+	rois := geofootprint.ExtractRoIs(t, geofootprint.ExtractionConfig{Epsilon: 0.02, Tau: 5})
+	fmt.Printf("%d region(s), %d samples in the first\n", len(rois), rois[0].Count)
+	// Output: 1 region(s), 10 samples in the first
+}
+
+// ExampleNorm computes a footprint norm (Equation 2): a single
+// 2×3 rectangle with weight 1 has norm sqrt(6).
+func ExampleNorm() {
+	f := geofootprint.Footprint{
+		{Rect: geofootprint.Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 3}, Weight: 1},
+	}
+	fmt.Printf("%.4f\n", geofootprint.Norm(f))
+	// Output: 2.4495
+}
+
+// ExampleDisjointRegions decomposes overlapping regions into disjoint
+// rectangles with frequencies, the (X, f_X) model of Section 4.
+func ExampleDisjointRegions() {
+	f := geofootprint.Footprint{
+		{Rect: geofootprint.Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 1}, Weight: 1},
+		{Rect: geofootprint.Rect{MinX: 1, MinY: 0, MaxX: 3, MaxY: 1}, Weight: 1},
+	}
+	for _, d := range geofootprint.DisjointRegions(f) {
+		fmt.Printf("[%g,%g]x[%g,%g] f=%g\n",
+			d.Rect.MinX, d.Rect.MaxX, d.Rect.MinY, d.Rect.MaxY, d.Weight)
+	}
+	// Unordered output:
+	// [0,1]x[0,1] f=1
+	// [1,2]x[0,1] f=2
+	// [2,3]x[0,1] f=1
+}
+
+// ExampleClipFootprint scopes similarity to one department of the
+// store: identical inside the window, different elsewhere.
+func ExampleClipFootprint() {
+	shared := geofootprint.Region{
+		Rect: geofootprint.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2}, Weight: 1}
+	a := geofootprint.Footprint{shared,
+		{Rect: geofootprint.Rect{MinX: 0.8, MinY: 0.8, MaxX: 0.9, MaxY: 0.9}, Weight: 1}}
+	b := geofootprint.Footprint{shared,
+		{Rect: geofootprint.Rect{MinX: 0.5, MinY: 0.1, MaxX: 0.6, MaxY: 0.2}, Weight: 1}}
+	dept := geofootprint.Rect{MinX: 0, MinY: 0, MaxX: 0.3, MaxY: 0.3}
+	fmt.Printf("global %.2f, in-department %.2f\n",
+		geofootprint.Similarity(a, b),
+		geofootprint.Similarity(
+			geofootprint.ClipFootprint(a, dept),
+			geofootprint.ClipFootprint(b, dept)))
+	// Output: global 0.50, in-department 1.00
+}
+
+// ExampleExplainSimilarity shows the per-pair breakdown of a score.
+func ExampleExplainSimilarity() {
+	a := geofootprint.Footprint{
+		{Rect: geofootprint.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, Weight: 1}}
+	b := geofootprint.Footprint{
+		{Rect: geofootprint.Rect{MinX: 0.5, MinY: 0, MaxX: 1.5, MaxY: 1}, Weight: 1}}
+	ex := geofootprint.ExplainSimilarity(a, b, geofootprint.Norm(a), geofootprint.Norm(b), 0)
+	fmt.Printf("similarity %.2f from %d pair(s); top share %.0f%%\n",
+		ex.Similarity, ex.PairsExamined, 100*ex.Contributions[0].Share)
+	// Output: similarity 0.50 from 1 pair(s); top share 100%
+}

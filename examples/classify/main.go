@@ -1,0 +1,116 @@
+// Classify: nearest-neighbour classification over geo-footprints, the
+// third data-mining application the paper's introduction motivates.
+// A loyalty program knows the segment ("electronics buff", "family
+// shopper", ...) of customers who answered a survey; movement data
+// exists for everyone. The kNN classifier infers the segment of the
+// silent majority from footprint similarity alone, and leave-one-out
+// evaluation quantifies how well movement predicts segment.
+//
+// Run with:
+//
+//	go run ./examples/classify
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"geofootprint"
+	"geofootprint/internal/classify"
+)
+
+var segments = []string{
+	"electronics buff", "home maker", "fashion first",
+	"grocery runner", "sports lover", "book worm",
+	"garden pro", "deal hunter", "family shopper",
+}
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(27))
+
+	cfg, err := geofootprint.SynthPart("A", 0.002) // ≈556 customers
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataset, personas, err := geofootprint.GenerateDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := geofootprint.BuildDB(dataset, geofootprint.DefaultExtraction())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tracked customers: %d\n", db.Len())
+
+	// The survey reached 30% of customers; their true segment is the
+	// generator's persona.
+	labels := map[int]string{}
+	for i, id := range db.IDs {
+		if rng.Float64() < 0.3 {
+			labels[id] = segments[personas[i]%len(segments)]
+		}
+	}
+	fmt.Printf("surveyed (labelled): %d customers\n", len(labels))
+
+	idx := geofootprint.NewUserCentricIndex(db)
+	cls, err := geofootprint.NewClassifier(db, idx, labels, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Leave-one-out on the surveyed customers: how reliable is
+	// movement as a segment signal?
+	fmt.Printf("leave-one-out accuracy on surveyed customers: %.1f%%\n", 100*cls.Evaluate())
+
+	// Classify the silent majority and compare against the hidden
+	// ground truth.
+	correct, total := 0, 0
+	perSegment := map[string][2]int{} // predicted: correct, total
+	for i, id := range db.IDs {
+		if _, surveyed := labels[id]; surveyed {
+			continue
+		}
+		p, err := cls.ClassifyUser(id)
+		if err != nil || p.Label == "" {
+			continue
+		}
+		total++
+		want := segments[personas[i]%len(segments)]
+		stats := perSegment[want]
+		stats[1]++
+		if p.Label == want {
+			correct++
+			stats[0]++
+		}
+		perSegment[want] = stats
+	}
+	fmt.Printf("inferred segments for %d unsurveyed customers: %.1f%% correct\n\n",
+		total, 100*float64(correct)/float64(total))
+
+	names := make([]string, 0, len(perSegment))
+	for n := range perSegment {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("per-segment accuracy (on hidden ground truth):")
+	for _, n := range names {
+		s := perSegment[n]
+		fmt.Printf("  %-18s %3d/%3d  (%.0f%%)\n", n, s[0], s[1], 100*float64(s[0])/float64(s[1]))
+	}
+
+	// One concrete prediction, with its vote breakdown.
+	var demo classify.Prediction
+	var demoID int
+	for _, id := range db.IDs {
+		if _, surveyed := labels[id]; !surveyed {
+			if p, err := cls.ClassifyUser(id); err == nil && p.Neighbours > 0 {
+				demo, demoID = p, id
+				break
+			}
+		}
+	}
+	fmt.Printf("\nexample: customer %d → %q (votes: %v)\n", demoID, demo.Label, demo.Votes)
+}

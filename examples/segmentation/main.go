@@ -1,0 +1,94 @@
+// Segmentation: customer segmentation via geo-footprint clustering,
+// the utility analysis of Section 7 (Figure 3(b)). Customers are
+// clustered by footprint similarity with average-link agglomerative
+// clustering; each cluster is then characterised by the store areas
+// its members visit that other clusters do not — the regions a
+// marketing team would target with cluster-specific promotions.
+//
+// Run with:
+//
+//	go run ./examples/segmentation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geofootprint"
+	"geofootprint/internal/cluster"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg, err := geofootprint.SynthPart("A", 0.0018) // ≈500 customers
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataset, personas, err := geofootprint.GenerateDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := geofootprint.BuildDB(dataset, geofootprint.DefaultExtraction())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("segmenting %d customers by geo-footprint\n", db.Len())
+
+	// Pairwise footprint distances (1 - similarity), then
+	// average-link agglomerative clustering into nine segments, as
+	// in the paper's experiment.
+	idxs := make([]int, db.Len())
+	for i := range idxs {
+		idxs[i] = i
+	}
+	m := geofootprint.FootprintDistances(db, idxs)
+	labels, err := geofootprint.ClusterUsers(m, 9, geofootprint.AverageLink)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sizes := make([]int, 9)
+	for _, l := range labels {
+		sizes[l]++
+	}
+
+	// The generator plants ground-truth "personas"; report how well
+	// the segments recover them (with real data one would instead
+	// validate against purchase categories or survey groups).
+	majority := make(map[int]map[int]int)
+	for i, l := range labels {
+		if majority[l] == nil {
+			majority[l] = map[int]int{}
+		}
+		majority[l][personas[i]]++
+	}
+	correct := 0
+	for _, pc := range majority {
+		best := 0
+		for _, c := range pc {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	fmt.Printf("segments recover the planted customer groups with %.1f%% purity\n\n",
+		100*float64(correct)/float64(len(labels)))
+
+	// Characteristic regions per segment: where to place targeted
+	// promotions.
+	ccfg := geofootprint.CharacteristicConfig{GridN: 30, MinOwnFrac: 0.25, MaxOtherFrac: 0.05}
+	regions, err := geofootprint.CharacteristicRegions(db, idxs, labels, 9, ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for c := 0; c < 9; c++ {
+		fmt.Printf("segment %d: %3d customers, %2d characteristic store cells\n",
+			c+1, sizes[c], len(regions[c]))
+	}
+
+	fmt.Println("\nstore map — digit marks the segment that 'owns' each area")
+	fmt.Println("(customers of that segment dwell there, others rarely do):")
+	fmt.Print(cluster.RenderASCII(regions, ccfg.GridN))
+}

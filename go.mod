@@ -1,0 +1,3 @@
+module geofootprint
+
+go 1.22

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"testing"
+)
+
+// tinyWorkload builds a very small Part A for fast harness tests.
+func tinyWorkload(t *testing.T) *Workload {
+	t.Helper()
+	w, err := NewWorkload("A", 0.0008, 0) // ~222 users
+	if err != nil {
+		t.Fatalf("NewWorkload: %v", err)
+	}
+	return w
+}
+
+func TestNewWorkloadUnknownPart(t *testing.T) {
+	if _, err := NewWorkload("Z", 0.001, 0); err == nil {
+		t.Error("unknown part accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	w := tinyWorkload(t)
+	row := Table1(w)
+	if row.Part != "A" {
+		t.Errorf("Part = %q", row.Part)
+	}
+	if row.Users < 200 || row.Users > 250 {
+		t.Errorf("Users = %d, want ≈222", row.Users)
+	}
+	if row.AvgRegions < 10 || row.AvgRegions > 25 {
+		t.Errorf("AvgRegions = %.1f, want ≈16", row.AvgRegions)
+	}
+	if row.AvgXExtent < 0.01 || row.AvgXExtent > 0.03 {
+		t.Errorf("AvgXExtent = %.4f, want ≈0.02", row.AvgXExtent)
+	}
+	if row.AvgYExtent >= row.AvgXExtent {
+		t.Errorf("y-extent %.4f should be below x-extent %.4f", row.AvgYExtent, row.AvgXExtent)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	w := tinyWorkload(t)
+	row := Table2(w)
+	if row.ExtractSeconds <= 0 || row.NormSeconds <= 0 {
+		t.Errorf("non-positive timings: %+v", row)
+	}
+	if row.FootprintsPerSec <= 0 {
+		t.Errorf("FootprintsPerSec = %v", row.FootprintsPerSec)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	w := tinyWorkload(t)
+	row := Table3(w, 5, 1)
+	if row.Queries != 5 || row.Pairs != 5*w.DB.Len() {
+		t.Errorf("row shape: %+v", row)
+	}
+	if row.Alg3Micros <= 0 || row.Alg4Micros <= 0 {
+		t.Errorf("non-positive timings: %+v", row)
+	}
+	// The headline result: Algorithm 4 is faster (paper: 1-2 orders
+	// of magnitude; we only assert the direction on this tiny run).
+	if row.SpeedupAlg4 < 1 {
+		t.Errorf("Algorithm 4 slower than Algorithm 3: %+v", row)
+	}
+	// Queries clamp to the population size.
+	row = Table3(w, 10*w.DB.Len(), 1)
+	if row.Queries != w.DB.Len() {
+		t.Errorf("Queries not clamped: %d", row.Queries)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	w := tinyWorkload(t)
+	row := Table4(w)
+	if row.RoIEntries <= row.UserEntries {
+		t.Errorf("RoI tree should have more entries than user-centric: %+v", row)
+	}
+	if row.RoITreeSeconds <= 0 || row.UserTreeSeconds <= 0 || row.RoITreeSTRSeconds <= 0 {
+		t.Errorf("non-positive timings: %+v", row)
+	}
+	// The headline result: the user-centric tree builds faster.
+	if row.UserTreeSeconds >= row.RoITreeSeconds {
+		t.Errorf("user-centric build not faster: %+v", row)
+	}
+}
+
+func TestFig3a(t *testing.T) {
+	w := tinyWorkload(t)
+	row := Fig3a(w, 20, 5, 1)
+	if row.Queries != 20 || row.K != 5 {
+		t.Errorf("row shape: %+v", row)
+	}
+	if row.IterativeSeconds <= 0 || row.BatchSeconds <= 0 || row.UserCentricSeconds <= 0 {
+		t.Errorf("non-positive timings: %+v", row)
+	}
+}
+
+func TestFig3b(t *testing.T) {
+	w := tinyWorkload(t)
+	res, err := Fig3b(w, 120, 9, 1)
+	if err != nil {
+		t.Fatalf("Fig3b: %v", err)
+	}
+	if res.SampleSize != 120 || res.Clusters != 9 {
+		t.Errorf("shape: %+v", res)
+	}
+	total := 0
+	for _, s := range res.ClusterSizes {
+		total += s
+	}
+	if total != 120 {
+		t.Errorf("cluster sizes sum to %d, want 120", total)
+	}
+	if res.ASCIIMap == "" {
+		t.Error("empty ASCII map")
+	}
+	// The generator plants 9 personas; average-link over footprints
+	// should recover them almost perfectly (the paper's Figure 3(b)
+	// claim, made quantitative).
+	if res.PersonaPurity < 0.8 {
+		t.Errorf("persona purity = %.2f, want >= 0.8", res.PersonaPurity)
+	}
+	// Several clusters should own characteristic regions. With only
+	// ~13 users per cluster the 5% exclusivity cap is noisy (one
+	// off-persona visit is already 7.7%), so the bar here is low;
+	// the full-size Figure 3(b) run in geobench colours most of the
+	// nine clusters.
+	withRegions := 0
+	for _, rs := range res.Regions {
+		if len(rs) > 0 {
+			withRegions++
+		}
+	}
+	if withRegions < 3 {
+		t.Errorf("only %d/9 clusters have characteristic regions", withRegions)
+	}
+}
+
+func TestMBRSensitivity(t *testing.T) {
+	w := tinyWorkload(t)
+	rows := MBRSensitivity(w, []float64{0.1, 0.8}, 10, 5, 1)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Larger spread must refine more candidates.
+	if rows[1].CandidatesRefined <= rows[0].CandidatesRefined {
+		t.Errorf("large-MBR queries should refine more users: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.CandidatesRelevant > r.CandidatesRefined {
+			t.Errorf("relevant > refined: %+v", r)
+		}
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		123.4:  "123",
+		5.25:   "5.25",
+		0.1234: "0.1234",
+	}
+	for in, want := range cases {
+		if got := FormatSeconds(in); got != want {
+			t.Errorf("FormatSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+func TestClusterMethods(t *testing.T) {
+	w := tinyWorkload(t)
+	rows, err := ClusterMethods(w, 120, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d methods", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seconds <= 0 {
+			t.Errorf("%s: non-positive time", r.Method)
+		}
+		if r.Purity < 0 || r.Purity > 1 {
+			t.Errorf("%s: purity %v", r.Method, r.Purity)
+		}
+		if r.Silhouette < -1 || r.Silhouette > 1 {
+			t.Errorf("%s: silhouette %v", r.Method, r.Silhouette)
+		}
+	}
+	// Average-link (the paper's choice) should do well on persona
+	// structure.
+	if rows[0].Method != "average-link" || rows[0].Purity < 0.8 {
+		t.Errorf("average-link purity %v", rows[0].Purity)
+	}
+}

@@ -1,0 +1,23 @@
+package bench
+
+import "testing"
+
+func TestGridComparison(t *testing.T) {
+	w := tinyWorkload(t)
+	row, err := GridComparison(w, 20, 5, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Queries != 20 || row.GridN != 32 {
+		t.Errorf("shape: %+v", row)
+	}
+	if row.RTreeMicros <= 0 || row.GridMicros <= 0 {
+		t.Errorf("timings: %+v", row)
+	}
+	if row.GridReplication < 1 {
+		t.Errorf("replication %v < 1", row.GridReplication)
+	}
+	if _, err := GridComparison(w, 5, 5, 0, 1); err == nil {
+		t.Error("gridN=0 accepted")
+	}
+}

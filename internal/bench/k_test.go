@@ -1,0 +1,22 @@
+package bench
+
+import "testing"
+
+func TestKSensitivity(t *testing.T) {
+	w := tinyWorkload(t)
+	rows := KSensitivity(w, []int{1, 5, 50}, 20, 1)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seconds <= 0 {
+			t.Errorf("K=%d: non-positive time", r.K)
+		}
+	}
+	// The paper's claim: time is not affected by K. Allow generous
+	// noise on a tiny run — K=50 must not cost more than 3x K=1.
+	if rows[2].Seconds > 3*rows[0].Seconds+0.01 {
+		t.Errorf("K=50 time %v vs K=1 %v — K sensitivity too strong",
+			rows[2].Seconds, rows[0].Seconds)
+	}
+}

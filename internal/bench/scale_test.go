@@ -1,0 +1,24 @@
+package bench
+
+import "testing"
+
+func TestScaleSweep(t *testing.T) {
+	rows, err := ScaleSweep("A", []float64{0.0005, 0.001}, 10, 5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[1].Users <= rows[0].Users {
+		t.Errorf("users not growing: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.IterativeSeconds <= 0 || r.BatchSeconds <= 0 || r.UserCentricSeconds <= 0 {
+			t.Errorf("timings: %+v", r)
+		}
+	}
+	if _, err := ScaleSweep("Z", []float64{0.001}, 5, 5, 0, 1); err == nil {
+		t.Error("unknown part accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+func TestWeightedComparison(t *testing.T) {
+	w := tinyWorkload(t)
+	res, err := WeightedComparison(w, 20, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 20 || res.K != 5 {
+		t.Errorf("shape: %+v", res)
+	}
+	if res.MeanJaccard < 0 || res.MeanJaccard > 1 {
+		t.Errorf("Jaccard out of range: %v", res.MeanJaccard)
+	}
+	// Weights shift rankings somewhat, but similar users under one
+	// model stay broadly similar under the other: the overlap should
+	// be substantial.
+	if res.MeanJaccard < 0.3 {
+		t.Errorf("weighted rankings implausibly different: %+v", res)
+	}
+	if res.Top1Agreement < 0.3 {
+		t.Errorf("top-1 agreement implausibly low: %+v", res)
+	}
+	if res.UnweightedMicros <= 0 || res.WeightedMicros <= 0 {
+		t.Errorf("timings: %+v", res)
+	}
+}

@@ -1,0 +1,110 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Evaluation is the detailed leave-one-out report of a classifier:
+// overall accuracy plus the confusion matrix and per-class
+// precision/recall/F1 — what a practitioner inspects before trusting
+// movement-based segment inference.
+type Evaluation struct {
+	Total    int
+	Correct  int
+	Accuracy float64
+	// Labels lists the class labels in the report's row/column
+	// order (sorted).
+	Labels []string
+	// Confusion[i][j] counts users whose true label is Labels[i]
+	// and predicted label Labels[j]. Users with no prediction (no
+	// labelled neighbour) count in the extra last column.
+	Confusion [][]int
+	// Precision, Recall and F1 are per true label, aligned with
+	// Labels. A class never predicted has precision 0.
+	Precision []float64
+	Recall    []float64
+	F1        []float64
+}
+
+// EvaluateDetailed runs leave-one-out classification over the
+// labelled users and returns the full evaluation.
+func (c *Classifier) EvaluateDetailed() Evaluation {
+	labelSet := map[string]int{}
+	for _, l := range c.labels {
+		labelSet[l] = 0
+	}
+	labels := make([]string, 0, len(labelSet))
+	for l := range labelSet {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for i, l := range labels {
+		labelSet[l] = i
+	}
+	k := len(labels)
+	ev := Evaluation{Labels: labels, Confusion: make([][]int, k)}
+	for i := range ev.Confusion {
+		ev.Confusion[i] = make([]int, k+1) // last column: "no prediction"
+	}
+
+	// Deterministic iteration order.
+	ids := make([]int, 0, len(c.labels))
+	for id := range c.labels {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		truth := labelSet[c.labels[id]]
+		p, err := c.ClassifyUser(id)
+		ev.Total++
+		if err != nil || p.Label == "" {
+			ev.Confusion[truth][k]++
+			continue
+		}
+		pred := labelSet[p.Label]
+		ev.Confusion[truth][pred]++
+		if pred == truth {
+			ev.Correct++
+		}
+	}
+	if ev.Total > 0 {
+		ev.Accuracy = float64(ev.Correct) / float64(ev.Total)
+	}
+
+	ev.Precision = make([]float64, k)
+	ev.Recall = make([]float64, k)
+	ev.F1 = make([]float64, k)
+	for i := 0; i < k; i++ {
+		var rowSum, colSum int
+		for j := 0; j <= k; j++ {
+			rowSum += ev.Confusion[i][j]
+		}
+		for j := 0; j < k; j++ {
+			colSum += ev.Confusion[j][i]
+		}
+		tp := ev.Confusion[i][i]
+		if colSum > 0 {
+			ev.Precision[i] = float64(tp) / float64(colSum)
+		}
+		if rowSum > 0 {
+			ev.Recall[i] = float64(tp) / float64(rowSum)
+		}
+		if pr := ev.Precision[i] + ev.Recall[i]; pr > 0 {
+			ev.F1[i] = 2 * ev.Precision[i] * ev.Recall[i] / pr
+		}
+	}
+	return ev
+}
+
+// String renders the evaluation as a compact table.
+func (ev Evaluation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "accuracy: %.3f (%d/%d)\n", ev.Accuracy, ev.Correct, ev.Total)
+	fmt.Fprintf(&b, "%-20s %9s %9s %9s\n", "class", "precision", "recall", "F1")
+	for i, l := range ev.Labels {
+		fmt.Fprintf(&b, "%-20s %9.3f %9.3f %9.3f\n", l, ev.Precision[i], ev.Recall[i], ev.F1[i])
+	}
+	return b.String()
+}

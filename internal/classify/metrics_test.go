@@ -1,0 +1,68 @@
+package classify
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"geofootprint/internal/search"
+)
+
+func TestEvaluateDetailed(t *testing.T) {
+	db, labels, _ := plantedWorld(t, 20)
+	idx := search.NewUserCentricIndex(db, search.BuildSTR, 0)
+	c, err := New(db, idx, labels, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := c.EvaluateDetailed()
+	if ev.Total != len(labels) {
+		t.Fatalf("Total = %d, want %d", ev.Total, len(labels))
+	}
+	if math.Abs(ev.Accuracy-c.Evaluate()) > 1e-12 {
+		t.Errorf("detailed accuracy %v != simple %v", ev.Accuracy, c.Evaluate())
+	}
+	if len(ev.Labels) != 3 {
+		t.Fatalf("labels = %v", ev.Labels)
+	}
+	// Confusion rows sum to class sizes.
+	for i := range ev.Labels {
+		rowSum := 0
+		for _, v := range ev.Confusion[i] {
+			rowSum += v
+		}
+		classSize := 0
+		for _, l := range labels {
+			if l == ev.Labels[i] {
+				classSize++
+			}
+		}
+		if rowSum != classSize {
+			t.Errorf("row %d sums to %d, class size %d", i, rowSum, classSize)
+		}
+	}
+	// Well-separated classes: strong diagonals.
+	for i := range ev.Labels {
+		if ev.Precision[i] < 0.9 || ev.Recall[i] < 0.9 || ev.F1[i] < 0.9 {
+			t.Errorf("class %s metrics weak: p=%.2f r=%.2f f1=%.2f",
+				ev.Labels[i], ev.Precision[i], ev.Recall[i], ev.F1[i])
+		}
+	}
+	out := ev.String()
+	for _, want := range []string{"accuracy", "precision", "electronics"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEvaluateDetailedDeterministic(t *testing.T) {
+	db, labels, _ := plantedWorld(t, 8)
+	idx := search.NewLinearScan(db)
+	c, _ := New(db, idx, labels, 3)
+	a := c.EvaluateDetailed()
+	b := c.EvaluateDetailed()
+	if a.String() != b.String() {
+		t.Error("evaluation not deterministic")
+	}
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/store"
+)
+
+// Production segmentation clusters once and then assigns newcomers to
+// the existing segments forever. Model captures a finished clustering
+// compactly — the medoid footprint of every cluster — and Assign
+// places any footprint into the nearest segment without touching the
+// original sample.
+
+// Model is a fitted segmentation: one representative (medoid) per
+// cluster.
+type Model struct {
+	// Medoids holds, per cluster, the footprint of the member with
+	// the smallest total distance to its cluster.
+	Medoids []core.Footprint
+	norms   []float64
+}
+
+// NewModel extracts the medoid of every cluster from a labeled sample.
+// idxs select database users; labels are their cluster assignments in
+// [0, k); m is the distance matrix the clustering ran on (aligned with
+// idxs).
+func NewModel(db *store.FootprintDB, m *Matrix, idxs, labels []int, k int) (*Model, error) {
+	if len(idxs) != len(labels) || len(idxs) != m.N() {
+		return nil, fmt.Errorf("cluster: idxs/labels/matrix shape mismatch")
+	}
+	medoidIdx := make([]int, k)
+	bestCost := make([]float64, k)
+	for c := range medoidIdx {
+		medoidIdx[c] = -1
+		bestCost[c] = math.Inf(1)
+	}
+	for i, c := range labels {
+		if c < 0 || c >= k {
+			return nil, fmt.Errorf("cluster: label %d outside [0,%d)", c, k)
+		}
+		var cost float64
+		for j, cj := range labels {
+			if cj == c {
+				cost += m.At(i, j)
+			}
+		}
+		if cost < bestCost[c] {
+			bestCost[c], medoidIdx[c] = cost, i
+		}
+	}
+	model := &Model{
+		Medoids: make([]core.Footprint, k),
+		norms:   make([]float64, k),
+	}
+	for c, mi := range medoidIdx {
+		if mi < 0 {
+			continue // empty cluster: never assigned to
+		}
+		model.Medoids[c] = db.Footprints[idxs[mi]]
+		model.norms[c] = db.Norms[idxs[mi]]
+	}
+	return model, nil
+}
+
+// Assign returns the cluster whose medoid is most similar to f, along
+// with the similarity. A footprint dissimilar to every medoid returns
+// cluster -1.
+func (mo *Model) Assign(f core.Footprint) (cluster int, similarity float64) {
+	fn := core.Norm(f)
+	cluster = -1
+	if fn == 0 {
+		return cluster, 0
+	}
+	for c, med := range mo.Medoids {
+		if med == nil {
+			continue
+		}
+		if sim := core.SimilarityJoin(med, f, mo.norms[c], fn); sim > similarity {
+			cluster, similarity = c, sim
+		}
+	}
+	return cluster, similarity
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+	"geofootprint/internal/store"
+)
+
+func segmentedDB(t *testing.T, perClass int) (*store.FootprintDB, []int, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(19))
+	centers := [][2]float64{{0.2, 0.2}, {0.7, 0.3}, {0.4, 0.8}}
+	var fps []core.Footprint
+	var truth, ids, idxs []int
+	for ci, c := range centers {
+		for u := 0; u < perClass; u++ {
+			var f core.Footprint
+			for r := 0; r < 3; r++ {
+				x := c[0] + (rng.Float64()-0.5)*0.08
+				y := c[1] + (rng.Float64()-0.5)*0.08
+				f = append(f, core.Region{
+					Rect:   geom.Rect{MinX: x, MinY: y, MaxX: x + 0.04, MaxY: y + 0.04},
+					Weight: 1,
+				})
+			}
+			core.SortByMinX(f)
+			fps = append(fps, f)
+			truth = append(truth, ci)
+			ids = append(ids, len(ids))
+			idxs = append(idxs, len(idxs))
+		}
+	}
+	db, err := store.FromFootprints("assign", ids, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, idxs, truth
+}
+
+func TestModelAssign(t *testing.T) {
+	db, idxs, truth := segmentedDB(t, 15)
+	m := DistanceMatrix(db, idxs, 0)
+	keep := DistanceMatrix(db, idxs, 0)
+	labels, err := Agglomerative(m, 3, AverageLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewModel(db, keep, idxs, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every training footprint assigns to its own cluster.
+	correct := 0
+	for i, dbIdx := range idxs {
+		c, sim := model.Assign(db.Footprints[dbIdx])
+		if c == labels[i] {
+			correct++
+		}
+		if sim <= 0 {
+			t.Errorf("user %d: zero assignment similarity", i)
+		}
+	}
+	if frac := float64(correct) / float64(len(idxs)); frac < 0.95 {
+		t.Errorf("self-assignment accuracy %.2f", frac)
+	}
+	// Fresh footprints from each area assign to the matching
+	// segment (measured against the clustering's own labels via
+	// truth — the clustering recovers truth on this data).
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		ci := rng.Intn(3)
+		// Use a random training user's area.
+		var ref int
+		for i := range truth {
+			if truth[i] == ci {
+				ref = i
+				break
+			}
+		}
+		c, _ := model.Assign(db.Footprints[idxs[ref]])
+		if c != labels[ref] {
+			t.Fatalf("trial %d: assigned %d, clustering says %d", trial, c, labels[ref])
+		}
+	}
+	// Degenerate footprint.
+	if c, sim := model.Assign(nil); c != -1 || sim != 0 {
+		t.Errorf("nil footprint assigned to %d (%v)", c, sim)
+	}
+	far := core.Footprint{{Rect: geom.Rect{MinX: 50, MinY: 50, MaxX: 51, MaxY: 51}, Weight: 1}}
+	if c, _ := model.Assign(far); c != -1 {
+		t.Errorf("disjoint footprint assigned to %d", c)
+	}
+}
+
+func TestNewModelErrors(t *testing.T) {
+	db, idxs, _ := segmentedDB(t, 3)
+	m := DistanceMatrix(db, idxs, 0)
+	if _, err := NewModel(db, m, idxs[:2], make([]int, len(idxs)), 3); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	bad := make([]int, len(idxs))
+	bad[0] = 7
+	if _, err := NewModel(db, m, idxs, bad, 3); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestDendrogramDOT(t *testing.T) {
+	m, _ := blobMatrix(0.1, 0.9, 3, 3)
+	_, merges, err := AgglomerativeFull(m, 1, AverageLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := DendrogramDOT(6, merges, func(i int) string { return fmt.Sprintf("user-%d", i) })
+	if !strings.HasPrefix(dot, "digraph dendrogram {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("malformed DOT:\n%s", dot)
+	}
+	// Six leaves, five merges, ten edges.
+	if got := strings.Count(dot, "leaf"); got < 6 {
+		t.Errorf("leaf mentions = %d", got)
+	}
+	if got := strings.Count(dot, "merge"); got < 5 {
+		t.Errorf("merge mentions = %d", got)
+	}
+	if got := strings.Count(dot, "->"); got != 10 {
+		t.Errorf("edges = %d, want 10", got)
+	}
+	if !strings.Contains(dot, `"user-0"`) {
+		t.Error("custom labels not used")
+	}
+	// Nil name falls back to indices.
+	plain := DendrogramDOT(6, merges, nil)
+	if !strings.Contains(plain, `"0"`) {
+		t.Error("default labels missing")
+	}
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMedoids clusters n items into k groups with the k-medoids algorithm
+// (Voronoi-iteration variant): medoids seed with k-means++-style
+// sampling, items assign to their nearest medoid, and each cluster's
+// medoid moves to the member minimising the cluster's total distance,
+// until fixed point or maxIter. It offers an O(iter·n·k + n²) contrast
+// to the exact-but-O(N²)-memory agglomerative hierarchy, and the
+// benchmark harness compares both on the Figure 3(b) task.
+//
+// Results depend on the seed; ties break deterministically.
+func KMedoids(m *Matrix, k int, seed int64, maxIter int) ([]int, error) {
+	n := m.N()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: k=%d outside [1,%d]", k, n)
+	}
+	if maxIter < 1 {
+		maxIter = 50
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// k-means++-style seeding: first medoid random, each further
+	// medoid sampled proportionally to distance from the nearest
+	// chosen one.
+	medoids := make([]int, 0, k)
+	medoids = append(medoids, rng.Intn(n))
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = m.At(i, medoids[0])
+	}
+	for len(medoids) < k {
+		var total float64
+		for _, d := range minDist {
+			total += d
+		}
+		var next int
+		if total == 0 {
+			// All remaining items coincide with a medoid: pick the
+			// first non-medoid deterministically.
+			next = firstNonMedoid(minDist, medoids)
+		} else {
+			r := rng.Float64() * total
+			for i, d := range minDist {
+				r -= d
+				if r <= 0 {
+					next = i
+					break
+				}
+			}
+		}
+		medoids = append(medoids, next)
+		for i := range minDist {
+			if d := m.At(i, next); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+
+	labels := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		// Assignment: nearest medoid, ties to the smaller index.
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c, med := range medoids {
+				if d := m.At(i, med); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			labels[i] = best
+		}
+		// Update: the member minimising total intra-cluster
+		// distance becomes the medoid.
+		changed := false
+		for c := range medoids {
+			bestMember, bestCost := medoids[c], math.Inf(1)
+			for i := 0; i < n; i++ {
+				if labels[i] != c {
+					continue
+				}
+				var cost float64
+				for j := 0; j < n; j++ {
+					if labels[j] == c {
+						cost += m.At(i, j)
+					}
+				}
+				if cost < bestCost || (cost == bestCost && i < bestMember) {
+					bestMember, bestCost = i, cost
+				}
+			}
+			if bestMember != medoids[c] {
+				medoids[c] = bestMember
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return labels, nil
+}
+
+func firstNonMedoid(minDist []float64, medoids []int) int {
+	isMed := map[int]bool{}
+	for _, m := range medoids {
+		isMed[m] = true
+	}
+	for i := range minDist {
+		if !isMed[i] {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKMedoidsRecoversBlobs(t *testing.T) {
+	m, truth := blobMatrix(0.05, 0.95, 8, 8, 8)
+	labels, err := KMedoids(m, 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePartition(labels, truth) {
+		t.Errorf("k-medoids missed the blobs:\nlabels: %v\ntruth:  %v", labels, truth)
+	}
+	// Silhouette confirms the quality.
+	s, err := Silhouette(m, labels)
+	if err != nil || s < 0.8 {
+		t.Errorf("silhouette = %v, %v", s, err)
+	}
+}
+
+func TestKMedoidsDeterministic(t *testing.T) {
+	m, _ := blobMatrix(0.1, 0.9, 6, 6)
+	a, err := KMedoids(cloneMatrix(m), 2, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMedoids(cloneMatrix(m), 2, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different labelings")
+	}
+}
+
+func TestKMedoidsEdgeCases(t *testing.T) {
+	m, _ := blobMatrix(0.1, 0.9, 4, 4)
+	if _, err := KMedoids(m, 0, 1, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMedoids(m, 9, 1, 0); err == nil {
+		t.Error("k>n accepted")
+	}
+	// k == n: every item its own cluster (all costs 0).
+	labels, err := KMedoids(m, 8, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("k=n gave %d clusters", len(seen))
+	}
+	// All-identical items: must terminate and produce a valid
+	// labeling.
+	z := NewMatrix(6)
+	labels, err = KMedoids(z, 3, 1, 0)
+	if err != nil || len(labels) != 6 {
+		t.Errorf("identical items: %v, %v", labels, err)
+	}
+}
+
+func TestKMedoidsAgreesWithAgglomerativeOnSeparatedData(t *testing.T) {
+	m, _ := blobMatrix(0.02, 0.98, 10, 10, 10, 10)
+	km, err := KMedoids(cloneMatrix(m), 4, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := Agglomerative(cloneMatrix(m), 4, AverageLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePartition(km, ag) {
+		t.Error("k-medoids and average-link disagree on perfectly separated blobs")
+	}
+}

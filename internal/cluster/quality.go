@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Silhouette returns the mean silhouette coefficient of a labeling
+// over the given distance matrix — the standard internal measure of
+// clustering quality, in [-1, 1] (higher is better). For each point,
+// a(i) is its mean distance to its own cluster and b(i) the smallest
+// mean distance to another cluster; the coefficient is
+// (b-a)/max(a,b). Points in singleton clusters score 0 by convention.
+//
+// The paper selects nine clusters by inspection; Silhouette lets a
+// deployment choose k quantitatively (see SilhouetteSweep).
+func Silhouette(m *Matrix, labels []int) (float64, error) {
+	n := m.N()
+	if len(labels) != n {
+		return 0, fmt.Errorf("cluster: %d labels for %d items", len(labels), n)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	k := 0
+	for _, l := range labels {
+		if l < 0 {
+			return 0, fmt.Errorf("cluster: negative label %d", l)
+		}
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+	sizes := make([]int, k)
+	for _, l := range labels {
+		sizes[l]++
+	}
+
+	var total float64
+	sums := make([]float64, k)
+	for i := 0; i < n; i++ {
+		for c := range sums {
+			sums[c] = 0
+		}
+		for j := 0; j < n; j++ {
+			if j != i {
+				sums[labels[j]] += m.At(i, j)
+			}
+		}
+		own := labels[i]
+		if sizes[own] <= 1 {
+			continue // silhouette 0
+		}
+		a := sums[own] / float64(sizes[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			if d := sums[c] / float64(sizes[c]); d < b {
+				b = d
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue // single cluster overall
+		}
+		if mx := math.Max(a, b); mx > 0 {
+			total += (b - a) / mx
+		}
+	}
+	return total / float64(n), nil
+}
+
+// DendrogramDOT renders a merge history as a Graphviz DOT digraph:
+// leaves are the original items (labelled via name, which may be nil
+// for index labels), internal nodes carry the merge distance. Feed the
+// output to `dot -Tsvg` to draw the hierarchy Figure 3(b)'s clustering
+// was cut from.
+func DendrogramDOT(n int, merges []Merge, name func(i int) string) string {
+	var b strings.Builder
+	b.WriteString("digraph dendrogram {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n")
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("%d", i)
+		if name != nil {
+			label = name(i)
+		}
+		fmt.Fprintf(&b, "  leaf%d [label=%q];\n", i, label)
+	}
+	// Track the current dendrogram node of each cluster
+	// representative (smallest member index).
+	node := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		node[i] = fmt.Sprintf("leaf%d", i)
+	}
+	for mi, m := range merges {
+		id := fmt.Sprintf("merge%d", mi)
+		fmt.Fprintf(&b, "  %s [label=\"d=%.4f\", shape=ellipse];\n", id, m.Distance)
+		fmt.Fprintf(&b, "  %s -> %s;\n", node[m.A], id)
+		fmt.Fprintf(&b, "  %s -> %s;\n", node[m.B], id)
+		node[m.A] = id
+		delete(node, m.B)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// SilhouetteSweep clusters the matrix for every k in ks (average
+// link) and returns the mean silhouette per k, letting callers choose
+// the number of clusters. The matrix is copied per k, so the input
+// survives.
+func SilhouetteSweep(m *Matrix, ks []int, link Linkage) (map[int]float64, error) {
+	out := make(map[int]float64, len(ks))
+	for _, k := range ks {
+		c := NewMatrix(m.n)
+		copy(c.d, m.d)
+		labels, err := Agglomerative(c, k, link)
+		if err != nil {
+			return nil, err
+		}
+		s, err := Silhouette(m, labels)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = s
+	}
+	return out, nil
+}

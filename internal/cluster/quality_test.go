@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func blobMatrix(within, between float64, sizes ...int) (*Matrix, []int) {
+	n := 0
+	for _, s := range sizes {
+		n += s
+	}
+	m := NewMatrix(n)
+	labels := make([]int, n)
+	idx := 0
+	for c, s := range sizes {
+		for i := 0; i < s; i++ {
+			labels[idx] = c
+			idx++
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if labels[i] == labels[j] {
+				m.Set(i, j, within)
+			} else {
+				m.Set(i, j, between)
+			}
+		}
+	}
+	return m, labels
+}
+
+func TestSilhouettePerfectClusters(t *testing.T) {
+	m, labels := blobMatrix(0.1, 0.9, 5, 5, 5)
+	s, err := Silhouette(m, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0.9 - 0.1)/0.9 ≈ 0.889 for every point.
+	if s < 0.85 {
+		t.Errorf("silhouette = %v, want ≈0.89", s)
+	}
+	// Random labels score far worse.
+	rng := rand.New(rand.NewSource(3))
+	bad := make([]int, len(labels))
+	for i := range bad {
+		bad[i] = rng.Intn(3)
+	}
+	sb, err := Silhouette(m, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb >= s {
+		t.Errorf("random labels (%v) scored >= true labels (%v)", sb, s)
+	}
+}
+
+func TestSilhouetteEdgeCases(t *testing.T) {
+	m, labels := blobMatrix(0.1, 0.9, 4, 4)
+	// Wrong label count.
+	if _, err := Silhouette(m, labels[:3]); err == nil {
+		t.Error("short labels accepted")
+	}
+	// Negative label.
+	bad := append([]int(nil), labels...)
+	bad[0] = -1
+	if _, err := Silhouette(m, bad); err == nil {
+		t.Error("negative label accepted")
+	}
+	// All points in one cluster: coefficient 0.
+	one := make([]int, m.N())
+	s, err := Silhouette(m, one)
+	if err != nil || s != 0 {
+		t.Errorf("single-cluster silhouette = %v, %v", s, err)
+	}
+	// Singletons score 0.
+	sing := make([]int, m.N())
+	for i := range sing {
+		sing[i] = i
+	}
+	s, err = Silhouette(m, sing)
+	if err != nil || s != 0 {
+		t.Errorf("all-singleton silhouette = %v, %v", s, err)
+	}
+	// Empty matrix.
+	if s, err := Silhouette(NewMatrix(0), nil); err != nil || s != 0 {
+		t.Errorf("empty silhouette = %v, %v", s, err)
+	}
+}
+
+func TestSilhouetteSweepFindsTrueK(t *testing.T) {
+	m, _ := blobMatrix(0.05, 0.95, 6, 6, 6, 6)
+	scores, err := SilhouetteSweep(m, []int{2, 3, 4, 5, 6}, AverageLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestK, best := 0, -2.0
+	for k, s := range scores {
+		if s > best {
+			bestK, best = k, s
+		}
+	}
+	if bestK != 4 {
+		t.Errorf("sweep chose k=%d (scores %v), want 4", bestK, scores)
+	}
+	// The matrix survives the sweep (copies are clustered).
+	if m.At(0, 1) != 0.05 {
+		t.Error("sweep mutated the input matrix")
+	}
+}

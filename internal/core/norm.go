@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"geofootprint/internal/geom"
+	"geofootprint/internal/sweep"
+)
+
+// event is one stop of the sweep line: the projection endpoint of a
+// region on the sorting (x) axis.
+type event struct {
+	v     float64
+	idx   int32 // region index within its footprint
+	src   int8  // 0 = F(r), 1 = F(s); unused by Norm
+	start bool
+}
+
+// sortEvents orders events by coordinate; on ties, Start events come
+// first so that a degenerate (zero-width) region is inserted before it
+// is removed. Tie order between different regions is immaterial: the
+// stripe between equal coordinates has zero width.
+func sortEvents(evs []event) {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].v != evs[j].v {
+			return evs[i].v < evs[j].v
+		}
+		return evs[i].start && !evs[j].start
+	})
+}
+
+func footprintEvents(f Footprint, src int8, evs []event) []event {
+	for i, r := range f {
+		evs = append(evs,
+			event{v: r.Rect.MinX, idx: int32(i), src: src, start: true},
+			event{v: r.Rect.MaxX, idx: int32(i), src: src, start: false},
+		)
+	}
+	return evs
+}
+
+// Norm computes the Euclidean norm ||F(r)|| of a footprint (Equation 2)
+// with the plane-sweep Algorithm 2: O(n²) time, O(n) space. The norm
+// of an empty footprint — or one whose regions all have zero area —
+// is 0.
+func Norm(f Footprint) float64 {
+	return math.Sqrt(NormSquared(f))
+}
+
+// NormSquared returns ||F(r)||², the sum over the disjoint regions X
+// of |X|·f_X² (the quantity ssq of Algorithm 2). It is exposed
+// separately because similarity search accumulates squared norms.
+func NormSquared(f Footprint) float64 {
+	if len(f) == 0 {
+		return 0
+	}
+	evs := footprintEvents(f, 0, make([]event, 0, 2*len(f)))
+	sortEvents(evs)
+	d := sweep.New()
+	var ssq float64
+	prev := evs[0].v
+	for _, e := range evs {
+		if e.v > prev {
+			// Contribution of the disjoint regions in the stripe
+			// [prev, e.v] (Algorithm 2 lines 4-6).
+			ssq += d.SumSquares() * (e.v - prev)
+			prev = e.v
+		}
+		r := f[e.idx]
+		if e.start {
+			d.Insert(r.Rect.MinY, r.Rect.MaxY, r.Weight)
+		} else {
+			d.Remove(r.Rect.MinY, r.Rect.MaxY, r.Weight)
+		}
+	}
+	return ssq
+}
+
+// Compact rewrites a footprint as its disjoint-region decomposition:
+// non-overlapping rectangles whose weights are the total frequencies
+// of the original regions covering them — the alternative footprint
+// representation of Section 5.1. Compaction preserves the norm and
+// every similarity exactly (Equations 1-2 are defined on the frequency
+// function, which is unchanged); it trades more regions for
+// overlap-freedom, which some downstream consumers (rendering,
+// planogram joins) prefer.
+func Compact(f Footprint) Footprint {
+	drs := DisjointRegions(f)
+	g := make(Footprint, len(drs))
+	for i, d := range drs {
+		g[i] = Region{Rect: d.Rect, Weight: d.Weight}
+	}
+	SortByMinX(g)
+	return g
+}
+
+// DisjointRegions decomposes a footprint into non-overlapping
+// rectangles with their total weights — the (X, f_X) representation of
+// Section 4, obtained as the by-product of Algorithm 2 described in
+// Section 5.1. Horizontally adjacent stripe slices with the same
+// vertical interval and weight are merged, so the output is compact.
+// The union of the result equals the union of the input regions, and
+// Σ |X|·f_X² equals NormSquared(f).
+func DisjointRegions(f Footprint) []WeightedRect {
+	if len(f) == 0 {
+		return nil
+	}
+	evs := footprintEvents(f, 0, make([]event, 0, 2*len(f)))
+	sortEvents(evs)
+	d := sweep.New()
+
+	type ykey struct {
+		lo, hi, w float64
+	}
+	// open tracks rectangles still extendable by the next stripe:
+	// their right edge equals the current sweep position.
+	open := make(map[ykey]geom.Rect)
+	var out []WeightedRect
+
+	prev := evs[0].v
+	for _, e := range evs {
+		if e.v > prev {
+			next := make(map[ykey]geom.Rect)
+			d.Segments(func(lo, hi, w float64) {
+				k := ykey{lo, hi, w}
+				if r, ok := open[k]; ok && r.MaxX == prev {
+					r.MaxX = e.v
+					next[k] = r
+				} else {
+					next[k] = geom.Rect{MinX: prev, MinY: lo, MaxX: e.v, MaxY: hi}
+				}
+			})
+			// Emit rectangles that did not continue into this stripe.
+			for k, r := range open {
+				if nr, ok := next[k]; !ok || nr.MinX != r.MinX {
+					out = append(out, WeightedRect{Rect: r, Weight: k.w})
+				}
+			}
+			open = next
+			prev = e.v
+		}
+		r := f[e.idx]
+		if e.start {
+			d.Insert(r.Rect.MinY, r.Rect.MaxY, r.Weight)
+		} else {
+			d.Remove(r.Rect.MinY, r.Rect.MaxY, r.Weight)
+		}
+	}
+	for k, r := range open {
+		out = append(out, WeightedRect{Rect: r, Weight: k.w})
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestNumerator checks the exported raw numerator (the 3D extension's
+// per-stripe kernel) against similarity × norms.
+func TestNumerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for trial := 0; trial < 30; trial++ {
+		fr := randFootprint(rng, 1+rng.Intn(10), 10)
+		fs := randFootprint(rng, 1+rng.Intn(10), 10)
+		nr, ns := Norm(fr), Norm(fs)
+		if nr == 0 || ns == 0 {
+			continue
+		}
+		want := SimilaritySweep(fr, fs, nr, ns) * nr * ns
+		if got := Numerator(fr, fs); !almostEq(got, want) {
+			t.Fatalf("trial %d: Numerator %v, want %v", trial, got, want)
+		}
+	}
+	if got := Numerator(nil, nil); got != 0 {
+		t.Errorf("empty numerator = %v", got)
+	}
+}

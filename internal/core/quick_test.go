@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"geofootprint/internal/geom"
+)
+
+// quickFootprint makes Footprint usable as a testing/quick generator:
+// bounded region counts, grid-aligned coordinates (to provoke shared
+// boundaries), small integer-ish weights.
+type quickFootprint Footprint
+
+func (quickFootprint) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := rng.Intn(12)
+	f := make(quickFootprint, n)
+	for i := range f {
+		x := float64(rng.Intn(16)) / 2
+		y := float64(rng.Intn(16)) / 2
+		f[i] = Region{
+			Rect: geom.Rect{
+				MinX: x, MinY: y,
+				MaxX: x + float64(1+rng.Intn(6))/2,
+				MaxY: y + float64(1+rng.Intn(6))/2,
+			},
+			Weight: float64(1+rng.Intn(4)) / 2,
+		}
+	}
+	return reflect.ValueOf(f)
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+func TestQuickNormMatchesOracle(t *testing.T) {
+	f := func(qf quickFootprint) bool {
+		return almostEq(Norm(Footprint(qf)), NormNaive(Footprint(qf)))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNormPermutationInvariant(t *testing.T) {
+	f := func(qf quickFootprint, seed int64) bool {
+		fp := Footprint(qf)
+		perm := make(Footprint, len(fp))
+		copy(perm, fp)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		return almostEq(Norm(fp), Norm(perm))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSimilarityBounds(t *testing.T) {
+	f := func(a, b quickFootprint) bool {
+		sim := Similarity(Footprint(a), Footprint(b))
+		return sim >= 0 && sim <= 1 && !math.IsNaN(sim)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSimilaritySymmetry(t *testing.T) {
+	f := func(a, b quickFootprint) bool {
+		return almostEq(Similarity(Footprint(a), Footprint(b)),
+			Similarity(Footprint(b), Footprint(a)))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAlgorithmsAgree(t *testing.T) {
+	f := func(a, b quickFootprint) bool {
+		fa, fb := Footprint(a), Footprint(b)
+		na, nb := Norm(fa), Norm(fb)
+		full := Similarity(fa, fb)
+		return almostEq(SimilaritySweep(fa, fb, na, nb), full) &&
+			almostEq(SimilarityJoin(fa, fb, na, nb), full)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSelfSimilarityIsOne(t *testing.T) {
+	f := func(a quickFootprint) bool {
+		fa := Footprint(a)
+		if Norm(fa) == 0 {
+			return Similarity(fa, fa) == 0 // degenerate: defined as 0
+		}
+		return almostEq(Similarity(fa, fa), 1)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDisjointRegionsInvariants(t *testing.T) {
+	f := func(a quickFootprint) bool {
+		fa := Footprint(a)
+		drs := DisjointRegions(fa)
+		var ssq float64
+		for i := range drs {
+			ssq += drs[i].Rect.Area() * drs[i].Weight * drs[i].Weight
+			for j := i + 1; j < len(drs); j++ {
+				if drs[i].Rect.IntersectionArea(drs[j].Rect) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return almostEq(ssq, NormSquared(fa))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMergingFootprintsGrowsNorm(t *testing.T) {
+	// ||F1 ∪ F2||² >= ||F1||² + ... is not generally an equality,
+	// but the union's squared norm is at least each part's (adding
+	// regions can only add coverage).
+	f := func(a, b quickFootprint) bool {
+		fa, fb := Footprint(a), Footprint(b)
+		merged := append(append(Footprint{}, fa...), fb...)
+		m := NormSquared(merged)
+		return m >= NormSquared(fa)-1e-9 && m >= NormSquared(fb)-1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"geofootprint/internal/sweep"
+)
+
+// Similarity computes sim(F(r), F(s)) of Equation 1 with no
+// precomputed state: a single plane sweep derives the numerator and
+// both norms (the "Computing Norms and Similarity Simultaneously"
+// variant of Algorithm 3 in Section 5.2).
+func Similarity(fr, fs Footprint) float64 {
+	sim, _, _ := SimilarityWithNorms(fr, fs)
+	return sim
+}
+
+// SimilarityWithNorms is Similarity, additionally returning the two
+// norms computed during the sweep so callers can cache them.
+func SimilarityWithNorms(fr, fs Footprint) (sim, normR, normS float64) {
+	simn, ssqR, ssqS := sweepNumerator(fr, fs, true)
+	normR, normS = math.Sqrt(ssqR), math.Sqrt(ssqS)
+	return divide(simn, normR*normS), normR, normS
+}
+
+// SimilaritySweep is Algorithm 3: the plane-sweep similarity
+// computation given precomputed norms (from Algorithm 2). Its cost is
+// O((n+m)²) for footprints with n and m regions.
+func SimilaritySweep(fr, fs Footprint, normR, normS float64) float64 {
+	denom := normR * normS
+	if denom == 0 {
+		return 0
+	}
+	simn, _, _ := sweepNumerator(fr, fs, false)
+	return divide(simn, denom)
+}
+
+// SimilarityJoin is Algorithm 4: similarity via a plane-sweep spatial
+// intersection join. Every intersecting pair of RoIs contributes its
+// intersection area times the product of the two weights; the paper's
+// correctness sketch shows this equals the numerator of Equation 1.
+// Unlike Algorithm 3 it cannot derive the norms, so they must be
+// supplied. Expected cost O(n log n + m log m + n + m + K); when both
+// footprints are already sorted by Rect.MinX (SortByMinX, which
+// FromRoIs applies) the sort terms vanish and the join allocates
+// nothing — this is what makes Algorithm 4 run at microsecond scale,
+// the headline of Table 3.
+func SimilarityJoin(fr, fs Footprint, normR, normS float64) float64 {
+	denom := normR * normS
+	if denom == 0 {
+		return 0
+	}
+	fr = ensureSorted(fr)
+	fs = ensureSorted(fs)
+	var simn float64
+	i, j := 0, 0
+	for i < len(fr) && j < len(fs) {
+		if fr[i].Rect.MinX <= fs[j].Rect.MinX {
+			r := &fr[i]
+			for k := j; k < len(fs) && fs[k].Rect.MinX <= r.Rect.MaxX; k++ {
+				simn += r.Rect.IntersectionArea(fs[k].Rect) * r.Weight * fs[k].Weight
+			}
+			i++
+		} else {
+			s := &fs[j]
+			for k := i; k < len(fr) && fr[k].Rect.MinX <= s.Rect.MaxX; k++ {
+				simn += s.Rect.IntersectionArea(fr[k].Rect) * s.Weight * fr[k].Weight
+			}
+			j++
+		}
+	}
+	return divide(simn, denom)
+}
+
+// SortByMinX orders the footprint's regions by Rect.MinX in place.
+// Region order carries no meaning (a footprint is a set), and sorted
+// order lets SimilarityJoin skip its per-call sort.
+func SortByMinX(f Footprint) {
+	sort.Slice(f, func(i, j int) bool { return f[i].Rect.MinX < f[j].Rect.MinX })
+}
+
+// ensureSorted returns f if already ordered by MinX (an O(n) check),
+// or a sorted copy otherwise, leaving the caller's footprint intact.
+func ensureSorted(f Footprint) Footprint {
+	for i := 1; i < len(f); i++ {
+		if f[i].Rect.MinX < f[i-1].Rect.MinX {
+			g := make(Footprint, len(f))
+			copy(g, f)
+			SortByMinX(g)
+			return g
+		}
+	}
+	return f
+}
+
+// Numerator returns the un-normalised numerator of Equation 1 — the
+// integral of the product of the two footprints' frequency functions —
+// computed by the Algorithm 3 sweep. The 3D extension (Section 8)
+// uses it as the per-stripe kernel of its sweep-plane algorithms.
+func Numerator(fr, fs Footprint) float64 {
+	simn, _, _ := sweepNumerator(fr, fs, false)
+	return simn
+}
+
+// sweepNumerator runs the sweep of Algorithm 3 over the merged
+// endpoint events of both footprints. At each stop it merge-joins the
+// two active-interval structures to accumulate the weighted
+// intersection of the stripe (lines 5-17); when withNorms is set it
+// also accumulates both squared norms in the same pass.
+func sweepNumerator(fr, fs Footprint, withNorms bool) (simn, ssqR, ssqS float64) {
+	if len(fr) == 0 && len(fs) == 0 {
+		return 0, 0, 0
+	}
+	evs := footprintEvents(fr, 0, make([]event, 0, 2*(len(fr)+len(fs))))
+	evs = footprintEvents(fs, 1, evs)
+	sortEvents(evs)
+
+	dr, ds := sweep.New(), sweep.New()
+	prev := evs[0].v
+	for _, e := range evs {
+		if e.v > prev {
+			w := e.v - prev
+			simn += sweep.IntegrateProduct(dr, ds) * w
+			if withNorms {
+				ssqR += dr.SumSquares() * w
+				ssqS += ds.SumSquares() * w
+			}
+			prev = e.v
+		}
+		var d *sweep.CoverageList
+		var r Region
+		if e.src == 0 {
+			d, r = dr, fr[e.idx]
+		} else {
+			d, r = ds, fs[e.idx]
+		}
+		if e.start {
+			d.Insert(r.Rect.MinY, r.Rect.MaxY, r.Weight)
+		} else {
+			d.Remove(r.Rect.MinY, r.Rect.MaxY, r.Weight)
+		}
+	}
+	return simn, ssqR, ssqS
+}
+
+// divide guards the norm division: two footprints are defined to have
+// similarity 0 when either norm vanishes (empty or fully degenerate
+// footprints), avoiding 0/0. Results are clamped to [0, 1] to absorb
+// floating-point round-off at the top of the range.
+func divide(simn, denom float64) float64 {
+	if denom == 0 {
+		return 0
+	}
+	sim := simn / denom
+	if sim < 0 {
+		return 0
+	}
+	if sim > 1 {
+		return 1
+	}
+	return sim
+}

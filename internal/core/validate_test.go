@@ -1,0 +1,35 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFootprintValidate(t *testing.T) {
+	good := Footprint{reg(0, 0, 1, 1, 1), reg(2, 2, 3, 3, 0.5)}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid footprint rejected: %v", err)
+	}
+	if err := (Footprint{}).Validate(); err != nil {
+		t.Errorf("empty footprint rejected: %v", err)
+	}
+	// Degenerate (zero-area) regions are valid — extraction can
+	// produce them.
+	if err := (Footprint{reg(1, 1, 1, 1, 1)}).Validate(); err != nil {
+		t.Errorf("degenerate region rejected: %v", err)
+	}
+	bad := []Footprint{
+		{reg(1, 0, 0, 1, 1)},                           // inverted x
+		{reg(0, 1, 1, 0, 1)},                           // inverted y
+		{reg(0, 0, 1, 1, 0)},                           // zero weight
+		{reg(0, 0, 1, 1, -2)},                          // negative weight
+		{reg(0, 0, 1, 1, math.Inf(1))},                 // infinite weight
+		{reg(0, 0, 1, 1, math.NaN())},                  // NaN weight
+		{{Rect: rect(math.NaN(), 0, 1, 1), Weight: 1}}, // NaN coordinate
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("bad footprint %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package d3
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDisjointRegions3Invariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 30; trial++ {
+		f := randFootprint3(rng, rng.Intn(8), 6)
+		boxes := DisjointRegions3(f)
+		// Pairwise disjoint.
+		for i := range boxes {
+			for j := i + 1; j < len(boxes); j++ {
+				if v := boxes[i].Box.IntersectionVolume(boxes[j].Box); v > 1e-12 {
+					t.Fatalf("trial %d: boxes %d,%d overlap by %v", trial, i, j, v)
+				}
+			}
+		}
+		// Σ vol·w² equals the squared norm.
+		var ssq float64
+		for _, b := range boxes {
+			ssq += b.Box.Volume() * b.Weight * b.Weight
+			if b.Weight <= 0 || b.Box.Volume() <= 0 {
+				t.Fatalf("trial %d: degenerate output box %+v", trial, b)
+			}
+		}
+		if want := NormSquared(f); !almostEq(ssq, want) {
+			t.Fatalf("trial %d: ssq %v, want %v", trial, ssq, want)
+		}
+	}
+	if got := DisjointRegions3(nil); got != nil {
+		t.Errorf("nil input = %v", got)
+	}
+}
+
+func TestCompact3PreservesSimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	for trial := 0; trial < 20; trial++ {
+		f := randFootprint3(rng, 1+rng.Intn(6), 6)
+		g := randFootprint3(rng, 1+rng.Intn(6), 6)
+		cf := Compact3(f)
+		if !almostEq(Norm(cf), Norm(f)) {
+			t.Fatalf("trial %d: compaction changed norm", trial)
+		}
+		if !almostEq(Similarity(cf, g), Similarity(f, g)) {
+			t.Fatalf("trial %d: compaction changed similarity", trial)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package d3
+
+import (
+	"sort"
+)
+
+// Section 8 notes that the similarity search techniques carry over to
+// 3D. This file provides the 3D footprint collection with precomputed
+// norms and top-k search. Candidate generation uses MBB intersection
+// over a sorted sweep list (a lightweight stand-in for a 3D R-tree,
+// which the modest collection sizes of 3D deployments do not yet
+// justify); refinement is the 3D Algorithm 4.
+
+// DB is a collection of 3D footprints with precomputed norms.
+type DB struct {
+	IDs        []int
+	Footprints []Footprint3
+	Norms      []float64
+	mbbs       []boxed
+}
+
+type boxed struct {
+	minX, maxX float64
+	idx        int
+}
+
+// Result3 is one ranked user.
+type Result3 struct {
+	ID    int
+	Score float64
+}
+
+// NewDB builds a 3D footprint database, precomputing every norm with
+// the sweep-plane Algorithm 2.
+func NewDB(ids []int, fps []Footprint3) (*DB, error) {
+	if len(ids) != len(fps) {
+		return nil, errShape(len(ids), len(fps))
+	}
+	db := &DB{IDs: ids, Footprints: fps, Norms: make([]float64, len(fps))}
+	for i, f := range fps {
+		db.Norms[i] = Norm(f)
+		m := f.MBB()
+		if !m.IsEmpty() {
+			db.mbbs = append(db.mbbs, boxed{minX: m.MinX, maxX: m.MaxX, idx: i})
+		}
+	}
+	sort.Slice(db.mbbs, func(a, b int) bool { return db.mbbs[a].minX < db.mbbs[b].minX })
+	return db, nil
+}
+
+type shapeError struct{ ids, fps int }
+
+func errShape(ids, fps int) error { return shapeError{ids, fps} }
+func (e shapeError) Error() string {
+	return "d3: id/footprint count mismatch"
+}
+
+// Len returns the number of users.
+func (db *DB) Len() int { return len(db.IDs) }
+
+// TopK returns the k users most similar to the query footprint,
+// best-first, omitting zero scores. Ties break by smaller ID.
+func (db *DB) TopK(q Footprint3, k int) []Result3 {
+	qnorm := Norm(q)
+	if qnorm == 0 || k <= 0 {
+		return nil
+	}
+	qm := q.MBB()
+	var res []Result3
+	for _, b := range db.mbbs {
+		if b.minX > qm.MaxX {
+			break // sorted by minX: nothing further can overlap
+		}
+		if b.maxX < qm.MinX {
+			continue
+		}
+		i := b.idx
+		m := db.Footprints[i].MBB()
+		if !m.Intersects(qm) {
+			continue
+		}
+		if sim := SimilarityJoin(db.Footprints[i], q, db.Norms[i], qnorm); sim > 0 {
+			res = append(res, Result3{ID: db.IDs[i], Score: sim})
+		}
+	}
+	sort.Slice(res, func(a, b int) bool {
+		if res[a].Score != res[b].Score {
+			return res[a].Score > res[b].Score
+		}
+		return res[a].ID < res[b].ID
+	})
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}

@@ -1,0 +1,100 @@
+package d3
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func testDB3(t *testing.T, rng *rand.Rand, users int) *DB {
+	t.Helper()
+	fps := make([]Footprint3, users)
+	ids := make([]int, users)
+	for u := range fps {
+		fps[u] = randFootprint3(rng, 1+rng.Intn(6), 8)
+		ids[u] = u * 3
+	}
+	db, err := NewDB(ids, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// bruteTopK3 is the oracle: naive similarity against every user.
+func bruteTopK3(db *DB, q Footprint3, k int) []Result3 {
+	var res []Result3
+	for i, f := range db.Footprints {
+		if sim := SimilarityNaive(f, q); sim > 0 {
+			res = append(res, Result3{ID: db.IDs[i], Score: sim})
+		}
+	}
+	sort.Slice(res, func(a, b int) bool {
+		if res[a].Score != res[b].Score {
+			return res[a].Score > res[b].Score
+		}
+		return res[a].ID < res[b].ID
+	})
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}
+
+func TestTopK3MatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	db := testDB3(t, rng, 50)
+	for trial := 0; trial < 20; trial++ {
+		q := db.Footprints[rng.Intn(db.Len())]
+		k := 1 + rng.Intn(8)
+		got := db.TopK(q, k)
+		want := bruteTopK3(db, q, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if absf3(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("trial %d result %d: score %v, want %v", trial, i, got[i].Score, want[i].Score)
+			}
+		}
+	}
+}
+
+func TestTopK3SelfFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(911))
+	db := testDB3(t, rng, 30)
+	for u := 0; u < 5; u++ {
+		if db.Norms[u] == 0 {
+			continue
+		}
+		got := db.TopK(db.Footprints[u], 1)
+		if len(got) != 1 || got[0].Score < 1-1e-9 {
+			t.Fatalf("user %d self query: %v", u, got)
+		}
+	}
+}
+
+func TestTopK3EdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(913))
+	db := testDB3(t, rng, 10)
+	if got := db.TopK(nil, 5); got != nil {
+		t.Errorf("empty query returned %v", got)
+	}
+	if got := db.TopK(db.Footprints[0], 0); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+	far := Footprint3{{Box: box(90, 90, 90, 91, 91, 91), Weight: 1}}
+	if got := db.TopK(far, 5); len(got) != 0 {
+		t.Errorf("disjoint query returned %v", got)
+	}
+	if _, err := NewDB([]int{1}, nil); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func absf3(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,144 @@
+package d3
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"geofootprint/internal/geom"
+)
+
+// BuildingConfig parameterises the 3D mobility generator: agents (e.g.
+// picker drones, multi-floor shoppers) dwelling at service points
+// spread over the levels of a building. It is the 3D counterpart of
+// internal/synth, sized for the Section 8 evaluation paths.
+type BuildingConfig struct {
+	Seed   int64
+	Agents int
+	// Levels and PointsPerLevel define the service points.
+	Levels         int
+	PointsPerLevel int
+	// VisitsMin/Max per agent; DwellMin/Max samples per visit.
+	VisitsMin, VisitsMax int
+	DwellMin, DwellMax   int
+	// SampleInterval is Δt in seconds; Jitter the dwell radius.
+	SampleInterval float64
+	Jitter         float64
+	// HomeAffinity is the probability a visit stays on the agent's
+	// home level.
+	HomeAffinity float64
+}
+
+// DefaultBuilding returns a building with three levels and sensible
+// dwell behaviour for the given number of agents.
+func DefaultBuilding(agents int, seed int64) BuildingConfig {
+	return BuildingConfig{
+		Seed:   seed,
+		Agents: agents,
+
+		Levels:         3,
+		PointsPerLevel: 8,
+
+		VisitsMin: 8, VisitsMax: 14,
+		DwellMin: 40, DwellMax: 90,
+
+		SampleInterval: 0.1,
+		Jitter:         0.008,
+		HomeAffinity:   0.9,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c BuildingConfig) Validate() error {
+	switch {
+	case c.Agents < 0:
+		return fmt.Errorf("d3: negative agent count")
+	case c.Levels < 1 || c.PointsPerLevel < 1:
+		return fmt.Errorf("d3: need at least one level and point")
+	case c.VisitsMin < 1 || c.VisitsMax < c.VisitsMin:
+		return fmt.Errorf("d3: bad visit range")
+	case c.DwellMin < 1 || c.DwellMax < c.DwellMin:
+		return fmt.Errorf("d3: bad dwell range")
+	case c.SampleInterval <= 0 || c.Jitter <= 0:
+		return fmt.Errorf("d3: non-positive interval or jitter")
+	case c.HomeAffinity < 0 || c.HomeAffinity > 1:
+		return fmt.Errorf("d3: affinity outside [0,1]")
+	}
+	return nil
+}
+
+// GenerateBuilding simulates one 3D trajectory per agent and returns
+// the trajectories together with each agent's home level (the ground
+// truth for similarity structure). Deterministic in Seed.
+func GenerateBuilding(cfg BuildingConfig) ([]Trajectory3, []int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	layoutRng := rand.New(rand.NewSource(cfg.Seed))
+	points := make([]geom.Point3, 0, cfg.Levels*cfg.PointsPerLevel)
+	for lv := 0; lv < cfg.Levels; lv++ {
+		z := 0.1
+		if cfg.Levels > 1 {
+			z = 0.1 + 0.8*float64(lv)/float64(cfg.Levels-1)
+		}
+		for p := 0; p < cfg.PointsPerLevel; p++ {
+			points = append(points, geom.Point3{
+				X: 0.1 + 0.8*layoutRng.Float64(),
+				Y: 0.1 + 0.8*layoutRng.Float64(),
+				Z: z,
+			})
+		}
+	}
+
+	trajectories := make([]Trajectory3, cfg.Agents)
+	homes := make([]int, cfg.Agents)
+	for a := 0; a < cfg.Agents; a++ {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(a+1)*0x9E3779B97F4A7C15)))
+		home := a % cfg.Levels
+		homes[a] = home
+		var tr Trajectory3
+		t := 0.0
+		nVisits := cfg.VisitsMin + rng.Intn(cfg.VisitsMax-cfg.VisitsMin+1)
+		for v := 0; v < nVisits; v++ {
+			lv := home
+			if rng.Float64() >= cfg.HomeAffinity {
+				lv = rng.Intn(cfg.Levels)
+			}
+			pt := points[lv*cfg.PointsPerLevel+rng.Intn(cfg.PointsPerLevel)]
+			dwell := cfg.DwellMin + rng.Intn(cfg.DwellMax-cfg.DwellMin+1)
+			for i := 0; i < dwell; i++ {
+				// Jitter within a ball of radius Jitter.
+				var dx, dy, dz float64
+				for {
+					dx = (rng.Float64()*2 - 1)
+					dy = (rng.Float64()*2 - 1)
+					dz = (rng.Float64()*2 - 1)
+					if dx*dx+dy*dy+dz*dz <= 1 {
+						break
+					}
+				}
+				tr = append(tr, Location3{
+					P: geom.Point3{
+						X: pt.X + dx*cfg.Jitter,
+						Y: pt.Y + dy*cfg.Jitter,
+						Z: pt.Z + dz*cfg.Jitter,
+					},
+					T: t,
+				})
+				t += cfg.SampleInterval
+			}
+			// One fast transit sample breaks the region.
+			tr = append(tr, Location3{
+				P: geom.Point3{
+					X: math.Mod(pt.X+0.4, 1),
+					Y: math.Mod(pt.Y+0.4, 1),
+					Z: pt.Z,
+				},
+				T: t,
+			})
+			t += cfg.SampleInterval
+		}
+		trajectories[a] = tr
+	}
+	return trajectories, homes, nil
+}

@@ -1,0 +1,87 @@
+package d3
+
+import (
+	"reflect"
+	"testing"
+
+	"geofootprint/internal/extract"
+)
+
+func TestBuildingConfigValidate(t *testing.T) {
+	good := DefaultBuilding(10, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(*BuildingConfig){
+		func(c *BuildingConfig) { c.Agents = -1 },
+		func(c *BuildingConfig) { c.Levels = 0 },
+		func(c *BuildingConfig) { c.PointsPerLevel = 0 },
+		func(c *BuildingConfig) { c.VisitsMin = 0 },
+		func(c *BuildingConfig) { c.DwellMin = 0 },
+		func(c *BuildingConfig) { c.SampleInterval = 0 },
+		func(c *BuildingConfig) { c.Jitter = 0 },
+		func(c *BuildingConfig) { c.HomeAffinity = 2 },
+	}
+	for i, mutate := range mutations {
+		c := good
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateBuildingDeterministic(t *testing.T) {
+	cfg := DefaultBuilding(8, 5)
+	a, ha, err := GenerateBuilding(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, hb, _ := GenerateBuilding(cfg)
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(ha, hb) {
+		t.Error("same seed produced different buildings")
+	}
+}
+
+// TestBuildingPipeline: the full Section 8 path on generated data —
+// 3D extraction, footprints, DB, top-k — with home level as ground
+// truth.
+func TestBuildingPipeline(t *testing.T) {
+	cfg := DefaultBuilding(30, 11)
+	trs, homes, err := GenerateBuilding(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := extract.Config{Epsilon: 0.02, Tau: 20}
+	fps := make([]Footprint3, len(trs))
+	ids := make([]int, len(trs))
+	for i, tr := range trs {
+		rois := Extract3(tr, ecfg)
+		if len(rois) == 0 {
+			t.Fatalf("agent %d produced no RoIs", i)
+		}
+		fps[i] = FromRoIs3(rois, UnitWeight)
+		ids[i] = i
+	}
+	db, err := NewDB(ids, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-level agents must dominate each agent's neighbours.
+	sameWins := 0
+	for a := 0; a < db.Len(); a++ {
+		res := db.TopK(fps[a], 4)
+		same := 0
+		for _, r := range res {
+			if r.ID != a && homes[r.ID] == homes[a] {
+				same++
+			}
+		}
+		if same >= 2 {
+			sameWins++
+		}
+	}
+	if frac := float64(sameWins) / float64(db.Len()); frac < 0.8 {
+		t.Errorf("only %.0f%% of agents have same-level-dominated neighbours", 100*frac)
+	}
+}

@@ -1,0 +1,354 @@
+package extract
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"geofootprint/internal/geom"
+	"geofootprint/internal/traj"
+)
+
+func pt(x, y float64) geom.Point { return geom.Point{X: x, Y: y} }
+
+// mkTraj builds a trajectory from points sampled at dt=1 starting at 0.
+func mkTraj(pts ...geom.Point) traj.Trajectory {
+	t := make(traj.Trajectory, len(pts))
+	for i, p := range pts {
+		t[i] = traj.Location{P: p, T: float64(i)}
+	}
+	return t
+}
+
+// dwellWalk generates a random trajectory alternating dwell phases
+// (small jitter around an anchor) and transit phases (large steps), the
+// shape Algorithm 1 is designed for.
+func dwellWalk(rng *rand.Rand, n int, eps float64) traj.Trajectory {
+	t := make(traj.Trajectory, 0, n)
+	cur := pt(rng.Float64(), rng.Float64())
+	for len(t) < n {
+		if rng.Float64() < 0.5 {
+			// Dwell: jitter within eps/3 of the anchor.
+			dur := 1 + rng.Intn(40)
+			for k := 0; k < dur && len(t) < n; k++ {
+				p := pt(cur.X+(rng.Float64()-0.5)*eps/3, cur.Y+(rng.Float64()-0.5)*eps/3)
+				t = append(t, traj.Location{P: p, T: float64(len(t))})
+			}
+		} else {
+			// Transit: a few large steps.
+			steps := 1 + rng.Intn(5)
+			for k := 0; k < steps && len(t) < n; k++ {
+				cur = pt(cur.X+(rng.Float64()-0.5)*10*eps, cur.Y+(rng.Float64()-0.5)*10*eps)
+				t = append(t, traj.Location{P: cur, T: float64(len(t))})
+			}
+		}
+	}
+	return t
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"valid", Config{Epsilon: 0.02, Tau: 30}, false},
+		{"valid extent mode", Config{Epsilon: 0.02, Tau: 1, Mode: ExtentMBR}, false},
+		{"zero epsilon", Config{Epsilon: 0, Tau: 30}, true},
+		{"negative epsilon", Config{Epsilon: -1, Tau: 30}, true},
+		{"zero tau", Config{Epsilon: 0.02, Tau: 0}, true},
+		{"bad mode", Config{Epsilon: 0.02, Tau: 1, Mode: Mode(9)}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if DiameterL2.String() != "diameter-l2" || ExtentMBR.String() != "extent-mbr" {
+		t.Error("unexpected Mode strings")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should still format")
+	}
+}
+
+func TestExtractEmptyAndShort(t *testing.T) {
+	cfg := Config{Epsilon: 1, Tau: 3}
+	if got := Extract(nil, cfg); got != nil {
+		t.Errorf("Extract(nil) = %v, want nil", got)
+	}
+	short := mkTraj(pt(0, 0), pt(0, 0))
+	if got := Extract(short, cfg); got != nil {
+		t.Errorf("Extract(short) = %v, want nil (fewer than tau points)", got)
+	}
+}
+
+func TestExtractSingleRegion(t *testing.T) {
+	// Five points within eps of each other: one RoI covering all.
+	tr := mkTraj(pt(0, 0), pt(0.1, 0), pt(0, 0.1), pt(0.1, 0.1), pt(0.05, 0.05))
+	got := Extract(tr, Config{Epsilon: 0.5, Tau: 3})
+	if len(got) != 1 {
+		t.Fatalf("got %d regions, want 1", len(got))
+	}
+	r := got[0]
+	if r.Count != 5 || r.TStart != 0 || r.TEnd != 4 {
+		t.Errorf("RoI = %+v, want Count=5 TStart=0 TEnd=4", r)
+	}
+	want := geom.Rect{MinX: 0, MinY: 0, MaxX: 0.1, MaxY: 0.1}
+	if r.Rect != want {
+		t.Errorf("Rect = %v, want %v", r.Rect, want)
+	}
+	if r.Duration() != 4 {
+		t.Errorf("Duration = %v, want 4", r.Duration())
+	}
+}
+
+func TestExtractTwoRegions(t *testing.T) {
+	// Two dwell clusters far apart, separated by one transit point.
+	tr := mkTraj(
+		pt(0, 0), pt(0.01, 0), pt(0, 0.01), // cluster 1
+		pt(5, 5),                                 // transit
+		pt(10, 10), pt(10.01, 10), pt(10, 10.01), // cluster 2
+	)
+	got := Extract(tr, Config{Epsilon: 0.1, Tau: 3})
+	if len(got) != 2 {
+		t.Fatalf("got %d regions, want 2: %+v", len(got), got)
+	}
+	if got[0].TEnd >= got[1].TStart {
+		t.Error("regions not temporally disjoint")
+	}
+	if got[0].Count != 3 || got[1].Count != 3 {
+		t.Errorf("counts = %d,%d, want 3,3", got[0].Count, got[1].Count)
+	}
+}
+
+func TestExtractNoRegion(t *testing.T) {
+	// A straight fast walk: no run of 3 points within eps.
+	pts := make([]geom.Point, 10)
+	for i := range pts {
+		pts[i] = pt(float64(i), 0)
+	}
+	got := Extract(mkTraj(pts...), Config{Epsilon: 1.5, Tau: 3})
+	if got != nil {
+		t.Errorf("got %v, want nil", got)
+	}
+}
+
+func TestExtractBacktracking(t *testing.T) {
+	// The run {a,b} is too short when c arrives, but {b,c,d,e}
+	// forms a region: the back-tracking step must rescue b.
+	tr := mkTraj(
+		pt(0, 0),       // a
+		pt(0.9, 0),     // b: within eps=1 of a
+		pt(1.5, 0),     // c: breaks with a (dist 1.5) but fits b
+		pt(1.2, 0),     // d: fits b and c
+		pt(1.3, 0.1),   // e
+		pt(100, 100),   // far away, closes the region
+		pt(100, 100.1), // trailing noise (too short)
+	)
+	got := Extract(tr, Config{Epsilon: 1, Tau: 4})
+	if len(got) != 1 {
+		t.Fatalf("got %d regions, want 1: %+v", len(got), got)
+	}
+	if got[0].TStart != 1 || got[0].TEnd != 4 || got[0].Count != 4 {
+		t.Errorf("RoI = %+v, want run b..e (TStart=1 TEnd=4 Count=4)", got[0])
+	}
+}
+
+func TestExtractLastRegionEmitted(t *testing.T) {
+	// Region extends to the end of the trajectory (Alg. 1 lines 18-20).
+	tr := mkTraj(pt(5, 5), pt(9, 9), pt(0, 0), pt(0.01, 0), pt(0, 0.01), pt(0.01, 0.01))
+	got := Extract(tr, Config{Epsilon: 0.1, Tau: 3})
+	if len(got) != 1 {
+		t.Fatalf("got %d regions, want 1", len(got))
+	}
+	if got[0].TStart != 2 || got[0].TEnd != 5 {
+		t.Errorf("RoI = %+v, want trailing region [2,5]", got[0])
+	}
+}
+
+func TestExtractTauOne(t *testing.T) {
+	// Tau=1: every location belongs to some region; regions split
+	// only on eps violations.
+	tr := mkTraj(pt(0, 0), pt(10, 0), pt(20, 0))
+	got := Extract(tr, Config{Epsilon: 1, Tau: 1})
+	if len(got) != 3 {
+		t.Fatalf("got %d regions, want 3", len(got))
+	}
+	for i, r := range got {
+		if r.Count != 1 {
+			t.Errorf("region %d count = %d, want 1", i, r.Count)
+		}
+		if r.Rect.Area() != 0 {
+			t.Errorf("region %d should be degenerate", i)
+		}
+	}
+}
+
+// checkInvariants verifies the Definition 3.2/3.3 invariants on an
+// extraction result.
+func checkInvariants(t *testing.T, tr traj.Trajectory, rois []RoI, cfg Config) {
+	t.Helper()
+	prevEnd := math.Inf(-1)
+	for i, r := range rois {
+		if r.Count < cfg.Tau {
+			t.Fatalf("region %d has %d < tau=%d points", i, r.Count, cfg.Tau)
+		}
+		if r.TStart <= prevEnd {
+			t.Fatalf("region %d not temporally disjoint from previous", i)
+		}
+		prevEnd = r.TEnd
+		// The MBR diagonal of a pairwise-eps set is at most eps*sqrt(2)
+		// (two points at distance eps on each axis); in ExtentMBR mode
+		// it is at most eps exactly.
+		limit := cfg.Epsilon * math.Sqrt2
+		if cfg.Mode == ExtentMBR {
+			limit = cfg.Epsilon
+		}
+		if r.Rect.Diagonal() > limit+1e-12 {
+			t.Fatalf("region %d diagonal %g exceeds limit %g", i, r.Rect.Diagonal(), limit)
+		}
+		// Locations inside the temporal extent must satisfy the
+		// pairwise constraint (diameter mode).
+		if cfg.Mode == DiameterL2 {
+			var run []geom.Point
+			for _, l := range tr {
+				if l.T >= r.TStart && l.T <= r.TEnd {
+					run = append(run, l.P)
+				}
+			}
+			if len(run) != r.Count {
+				t.Fatalf("region %d count %d != locations in span %d", i, r.Count, len(run))
+			}
+			for a := range run {
+				for b := a + 1; b < len(run); b++ {
+					if run[a].Dist(run[b]) > cfg.Epsilon+1e-12 {
+						t.Fatalf("region %d violates pairwise eps", i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExtractInvariantsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, mode := range []Mode{DiameterL2, ExtentMBR} {
+		for trial := 0; trial < 30; trial++ {
+			cfg := Config{Epsilon: 0.02, Tau: 5 + rng.Intn(20), Mode: mode}
+			tr := dwellWalk(rng, 200+rng.Intn(400), cfg.Epsilon)
+			rois := Extract(tr, cfg)
+			checkInvariants(t, tr, rois, cfg)
+		}
+	}
+}
+
+func TestExtractMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for _, mode := range []Mode{DiameterL2, ExtentMBR} {
+		for trial := 0; trial < 60; trial++ {
+			cfg := Config{Epsilon: 0.02, Tau: 2 + rng.Intn(30), Mode: mode}
+			tr := dwellWalk(rng, 100+rng.Intn(500), cfg.Epsilon)
+			fast := Extract(tr, cfg)
+			naive := ExtractNaive(tr, cfg)
+			if !reflect.DeepEqual(fast, naive) {
+				t.Fatalf("mode=%v tau=%d: optimized and naive differ:\nfast:  %+v\nnaive: %+v",
+					mode, cfg.Tau, fast, naive)
+			}
+		}
+	}
+}
+
+func TestExtractRightMaximality(t *testing.T) {
+	// An emitted region cannot be extended with the next location.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		cfg := Config{Epsilon: 0.02, Tau: 5}
+		tr := dwellWalk(rng, 300, cfg.Epsilon)
+		for _, r := range Extract(tr, cfg) {
+			// Find the index just after the region.
+			next := -1
+			for i, l := range tr {
+				if l.T > r.TEnd {
+					next = i
+					break
+				}
+			}
+			if next == -1 {
+				continue // region reaches trajectory end
+			}
+			// Gather the region's run plus the next point; it must
+			// violate eps (otherwise the region was not maximal).
+			var run []geom.Point
+			for _, l := range tr {
+				if l.T >= r.TStart && l.T <= r.TEnd {
+					run = append(run, l.P)
+				}
+			}
+			ok := true
+			for _, p := range run {
+				if p.Dist(tr[next].P) > cfg.Epsilon {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				t.Fatalf("region %+v could be extended with location %d", r, next)
+			}
+		}
+	}
+}
+
+func TestExtractUser(t *testing.T) {
+	u := &traj.User{ID: 1, Sessions: []traj.Trajectory{
+		mkTraj(pt(0, 0), pt(0.01, 0), pt(0, 0.01)),
+		mkTraj(pt(1, 1), pt(1.01, 1), pt(1, 1.01)),
+	}}
+	// Fix session timestamps to be disjoint.
+	for i := range u.Sessions[1] {
+		u.Sessions[1][i].T += 100
+	}
+	got := ExtractUser(u, Config{Epsilon: 0.1, Tau: 3})
+	if len(got) != 2 {
+		t.Fatalf("got %d RoIs, want 2 (one per session)", len(got))
+	}
+}
+
+func TestExtractDatasetParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := &traj.Dataset{Name: "par", SampleInterval: 1}
+	for i := 0; i < 50; i++ {
+		d.Users = append(d.Users, traj.User{
+			ID:       i,
+			Sessions: []traj.Trajectory{dwellWalk(rng, 200, 0.02)},
+		})
+	}
+	cfg := Config{Epsilon: 0.02, Tau: 10}
+	seq := ExtractDataset(d, cfg, 1)
+	par := ExtractDataset(d, cfg, 8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel extraction differs from sequential")
+	}
+	def := ExtractDataset(d, cfg, 0)
+	if !reflect.DeepEqual(seq, def) {
+		t.Fatal("default-worker extraction differs from sequential")
+	}
+}
+
+func TestValidRunModes(t *testing.T) {
+	// Three points pairwise within eps=1 but MBR diagonal > 1:
+	// valid under DiameterL2, invalid under ExtentMBR.
+	tr := mkTraj(pt(0, 0), pt(0.9, 0), pt(0.45, 0.7))
+	if !validRun(tr, 0, 3, Config{Epsilon: 1, Tau: 1}) {
+		t.Error("diameter mode should accept pairwise-close run")
+	}
+	if validRun(tr, 0, 3, Config{Epsilon: 1, Tau: 1, Mode: ExtentMBR}) {
+		t.Error("extent mode should reject run with MBR diagonal > eps")
+	}
+}

@@ -1,0 +1,124 @@
+package extract
+
+import (
+	"geofootprint/internal/geom"
+	"geofootprint/internal/traj"
+)
+
+// Extractor is the online (streaming) form of Algorithm 1: locations
+// are pushed one at a time as the positioning system reports them, and
+// finished RoIs are emitted as soon as they are known to be maximal.
+// It produces exactly the same RoIs as the batch Extract (tested), so
+// a deployment can extract footprints live instead of buffering whole
+// sessions.
+//
+// The zero value is not usable; construct with NewExtractor. A session
+// ends with Flush, which emits the final region (if any) and resets
+// the extractor for the next session.
+type Extractor struct {
+	cfg   Config
+	epsSq float64
+	emit  func(RoI)
+
+	// Current region R: its locations, kept because both the exact
+	// diameter check and the back-tracking step need them.
+	run []traj.Location
+	mbr geom.Rect
+}
+
+// NewExtractor returns a streaming extractor that calls emit for every
+// finalized RoI. emit must not retain its argument past the call.
+func NewExtractor(cfg Config, emit func(RoI)) (*Extractor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if emit == nil {
+		panic("extract: NewExtractor with nil emit")
+	}
+	return &Extractor{cfg: cfg, epsSq: cfg.Epsilon * cfg.Epsilon, emit: emit}, nil
+}
+
+// Push feeds the next location of the current session. Locations must
+// arrive in temporal order.
+func (e *Extractor) Push(l traj.Location) {
+	if len(e.run) == 0 {
+		e.run = append(e.run, l)
+		e.mbr = geom.RectFromPoints(l.P)
+		return
+	}
+	if e.fits(l.P) {
+		e.run = append(e.run, l)
+		e.mbr = e.mbr.ExtendPoint(l.P)
+		return
+	}
+	if len(e.run) >= e.cfg.Tau {
+		e.emitRun()
+		e.run = e.run[:0]
+		e.run = append(e.run, l)
+		e.mbr = geom.RectFromPoints(l.P)
+		return
+	}
+	// Back-tracking (Alg. 1 lines 10-14): start a new region at l
+	// and extend it backwards through the trailing locations of the
+	// old run while ε holds. The run's internal order is irrelevant
+	// to the ε checks (they are pairwise), so the kept suffix is
+	// re-ordered temporally only once, at the end.
+	old := e.run
+	e.run = make([]traj.Location, 1, cap(old)+1)
+	e.run[0] = l
+	e.mbr = geom.RectFromPoints(l.P)
+	keep := len(old)
+	for j := len(old) - 1; j >= 0; j-- {
+		if !e.fits(old[j].P) {
+			break
+		}
+		e.run = append(e.run, old[j])
+		e.mbr = e.mbr.ExtendPoint(old[j].P)
+		keep = j
+	}
+	e.run = e.run[:0]
+	e.run = append(e.run, old[keep:]...)
+	e.run = append(e.run, l)
+}
+
+// Flush ends the current session, emitting the trailing region if it
+// qualifies (Alg. 1 lines 18-20), and resets the extractor.
+func (e *Extractor) Flush() {
+	if len(e.run) >= e.cfg.Tau {
+		e.emitRun()
+	}
+	e.run = e.run[:0]
+}
+
+// Pending returns the number of locations in the not-yet-finalized
+// current region.
+func (e *Extractor) Pending() int { return len(e.run) }
+
+func (e *Extractor) emitRun() {
+	e.emit(RoI{
+		Rect:   e.mbr,
+		TStart: e.run[0].T,
+		TEnd:   e.run[len(e.run)-1].T,
+		Count:  len(e.run),
+	})
+}
+
+// fits mirrors window.fits for the streaming run.
+func (e *Extractor) fits(p geom.Point) bool {
+	ext := e.mbr.ExtendPoint(p)
+	if e.cfg.Mode == ExtentMBR {
+		return ext.Diagonal() <= e.cfg.Epsilon
+	}
+	if ext.Diagonal() <= e.cfg.Epsilon {
+		return true
+	}
+	if ext.Width() > e.cfg.Epsilon || ext.Height() > e.cfg.Epsilon {
+		return false
+	}
+	for i := range e.run {
+		if p.DistSq(e.run[i].P) > e.epsSq {
+			return false
+		}
+	}
+	return true
+}

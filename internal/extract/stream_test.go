@@ -1,0 +1,115 @@
+package extract
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"geofootprint/internal/traj"
+)
+
+func streamAll(t *testing.T, tr traj.Trajectory, cfg Config) []RoI {
+	t.Helper()
+	var out []RoI
+	ex, err := NewExtractor(cfg, func(r RoI) { out = append(out, r) })
+	if err != nil {
+		t.Fatalf("NewExtractor: %v", err)
+	}
+	for _, l := range tr {
+		ex.Push(l)
+	}
+	ex.Flush()
+	return out
+}
+
+func TestExtractorMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for _, mode := range []Mode{DiameterL2, ExtentMBR} {
+		for trial := 0; trial < 60; trial++ {
+			cfg := Config{Epsilon: 0.02, Tau: 2 + rng.Intn(25), Mode: mode}
+			tr := dwellWalk(rng, 100+rng.Intn(400), cfg.Epsilon)
+			batch := Extract(tr, cfg)
+			stream := streamAll(t, tr, cfg)
+			if !reflect.DeepEqual(batch, stream) {
+				t.Fatalf("mode=%v tau=%d: stream differs from batch\nbatch:  %+v\nstream: %+v",
+					mode, cfg.Tau, batch, stream)
+			}
+		}
+	}
+}
+
+func TestExtractorMultiSession(t *testing.T) {
+	// One extractor reused across sessions via Flush.
+	cfg := Config{Epsilon: 0.1, Tau: 3}
+	var out []RoI
+	ex, err := NewExtractor(cfg, func(r RoI) { out = append(out, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := mkTraj(pt(0, 0), pt(0.01, 0), pt(0, 0.01))
+	s2 := mkTraj(pt(5, 5), pt(5.01, 5), pt(5, 5.01))
+	for _, l := range s1 {
+		ex.Push(l)
+	}
+	ex.Flush()
+	if len(out) != 1 {
+		t.Fatalf("after session 1: %d RoIs, want 1", len(out))
+	}
+	for _, l := range s2 {
+		ex.Push(l)
+	}
+	ex.Flush()
+	if len(out) != 2 {
+		t.Fatalf("after session 2: %d RoIs, want 2", len(out))
+	}
+	// Sessions must not bleed into each other: second RoI is at (5,5).
+	if out[1].Rect.MinX < 4 {
+		t.Errorf("second region contaminated by first session: %+v", out[1])
+	}
+}
+
+func TestExtractorPending(t *testing.T) {
+	cfg := Config{Epsilon: 1, Tau: 10}
+	ex, err := NewExtractor(cfg, func(RoI) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Pending() != 0 {
+		t.Errorf("fresh extractor Pending = %d", ex.Pending())
+	}
+	ex.Push(traj.Location{P: pt(0, 0), T: 0})
+	ex.Push(traj.Location{P: pt(0.1, 0), T: 1})
+	if ex.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", ex.Pending())
+	}
+	ex.Flush()
+	if ex.Pending() != 0 {
+		t.Errorf("Pending after Flush = %d", ex.Pending())
+	}
+}
+
+func TestExtractorRejectsBadConfig(t *testing.T) {
+	if _, err := NewExtractor(Config{Epsilon: -1, Tau: 1}, func(RoI) {}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestExtractorEmitsEagerly(t *testing.T) {
+	// A region must be emitted as soon as the location breaking it
+	// arrives — before Flush.
+	cfg := Config{Epsilon: 0.1, Tau: 3}
+	emitted := 0
+	ex, err := NewExtractor(cfg, func(RoI) { emitted++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []struct{ x, y float64 }{
+		{0, 0}, {0.01, 0}, {0, 0.01}, // region
+		{9, 9}, // breaker
+	} {
+		ex.Push(traj.Location{P: pt(p.x, p.y), T: float64(i)})
+	}
+	if emitted != 1 {
+		t.Errorf("emitted %d regions before Flush, want 1", emitted)
+	}
+}

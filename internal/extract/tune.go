@@ -1,0 +1,76 @@
+package extract
+
+import (
+	"geofootprint/internal/traj"
+)
+
+// The paper tunes ε and τ by trying values and keeping the ones that
+// "led to a reasonable number of RoIs for each user" (Section 7,
+// footprint extraction). ParamStats and SweepParams mechanise that
+// process: evaluate a grid of (ε, τ) pairs over a dataset sample and
+// report the footprint statistics for each, so a deployment can pick
+// parameters the same way the authors did.
+
+// ParamStats summarises one (ε, τ) choice over a dataset.
+type ParamStats struct {
+	Epsilon float64
+	Tau     int
+	// AvgRegions is the mean number of RoIs per user.
+	AvgRegions float64
+	// AvgXExtent and AvgYExtent are the mean RoI extents.
+	AvgXExtent float64
+	AvgYExtent float64
+	// CoveredUsers is the fraction of users with at least one RoI.
+	CoveredUsers float64
+	// AvgCoverage is the mean fraction of a user's locations that
+	// fall inside some RoI.
+	AvgCoverage float64
+}
+
+// SweepParams evaluates every (ε, τ) combination on the dataset using
+// `workers` goroutines per extraction pass and returns one ParamStats
+// per pair, in epsilons-major order.
+func SweepParams(d *traj.Dataset, epsilons []float64, taus []int, mode Mode, workers int) []ParamStats {
+	out := make([]ParamStats, 0, len(epsilons)*len(taus))
+	for _, eps := range epsilons {
+		for _, tau := range taus {
+			cfg := Config{Epsilon: eps, Tau: tau, Mode: mode}
+			rois := ExtractDataset(d, cfg, workers)
+			out = append(out, summarize(d, cfg, rois))
+		}
+	}
+	return out
+}
+
+func summarize(d *traj.Dataset, cfg Config, rois [][]RoI) ParamStats {
+	s := ParamStats{Epsilon: cfg.Epsilon, Tau: cfg.Tau}
+	users := len(rois)
+	if users == 0 {
+		return s
+	}
+	var regions, covered int
+	var sx, sy, coverage float64
+	for i, rs := range rois {
+		regions += len(rs)
+		if len(rs) > 0 {
+			covered++
+		}
+		inRoI := 0
+		for _, r := range rs {
+			sx += r.Rect.Width()
+			sy += r.Rect.Height()
+			inRoI += r.Count
+		}
+		if n := d.Users[i].NumLocations(); n > 0 {
+			coverage += float64(inRoI) / float64(n)
+		}
+	}
+	s.AvgRegions = float64(regions) / float64(users)
+	if regions > 0 {
+		s.AvgXExtent = sx / float64(regions)
+		s.AvgYExtent = sy / float64(regions)
+	}
+	s.CoveredUsers = float64(covered) / float64(users)
+	s.AvgCoverage = coverage / float64(users)
+	return s
+}

@@ -1,0 +1,68 @@
+package extract
+
+import (
+	"math/rand"
+	"testing"
+
+	"geofootprint/internal/traj"
+)
+
+func tuneDataset(rng *rand.Rand, users int) *traj.Dataset {
+	d := &traj.Dataset{Name: "tune", SampleInterval: 1}
+	for u := 0; u < users; u++ {
+		d.Users = append(d.Users, traj.User{
+			ID:       u,
+			Sessions: []traj.Trajectory{dwellWalk(rng, 400, 0.02)},
+		})
+	}
+	return d
+}
+
+func TestSweepParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	d := tuneDataset(rng, 25)
+	epsilons := []float64{0.01, 0.02, 0.04}
+	taus := []int{10, 30}
+	stats := SweepParams(d, epsilons, taus, DiameterL2, 0)
+	if len(stats) != len(epsilons)*len(taus) {
+		t.Fatalf("got %d stats, want %d", len(stats), len(epsilons)*len(taus))
+	}
+	// Order: epsilons-major.
+	if stats[0].Epsilon != 0.01 || stats[0].Tau != 10 || stats[1].Tau != 30 {
+		t.Errorf("unexpected order: %+v", stats[:2])
+	}
+	for _, s := range stats {
+		if s.AvgRegions < 0 || s.CoveredUsers < 0 || s.CoveredUsers > 1 {
+			t.Errorf("implausible stats: %+v", s)
+		}
+		if s.AvgCoverage < 0 || s.AvgCoverage > 1+1e-9 {
+			t.Errorf("coverage outside [0,1]: %+v", s)
+		}
+	}
+	// Monotonicity in tau: for fixed eps, a larger tau can only
+	// reduce (or keep) the number of qualifying regions.
+	for e := 0; e < len(epsilons); e++ {
+		lo, hi := stats[e*2], stats[e*2+1]
+		if hi.AvgRegions > lo.AvgRegions+1e-9 {
+			t.Errorf("eps=%g: tau=30 yields more regions (%.2f) than tau=10 (%.2f)",
+				lo.Epsilon, hi.AvgRegions, lo.AvgRegions)
+		}
+	}
+	// Extents grow with eps (for fixed tau, looser eps allows larger
+	// regions).
+	if stats[0].AvgXExtent > stats[4].AvgXExtent {
+		t.Errorf("extents should grow with eps: %.4f vs %.4f",
+			stats[0].AvgXExtent, stats[4].AvgXExtent)
+	}
+}
+
+func TestSweepParamsEmptyDataset(t *testing.T) {
+	d := &traj.Dataset{Name: "empty"}
+	stats := SweepParams(d, []float64{0.02}, []int{30}, DiameterL2, 1)
+	if len(stats) != 1 {
+		t.Fatalf("got %d stats", len(stats))
+	}
+	if stats[0].AvgRegions != 0 || stats[0].CoveredUsers != 0 {
+		t.Errorf("empty dataset stats: %+v", stats[0])
+	}
+}

@@ -1,0 +1,160 @@
+// Package grid implements a uniform-grid spatial index over
+// rectangles, the classic alternative to the R-tree of Section 6. It
+// answers the same intersection queries and backs a drop-in top-k
+// searcher, so the benchmark harness can ask whether the R-tree is
+// actually needed for geo-footprint search (an ablation the paper does
+// not run but any adopter would ask about).
+//
+// The index hashes each rectangle into every grid cell it overlaps;
+// queries visit the cells overlapping the query rectangle and
+// deduplicate multi-cell entries by id.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"geofootprint/internal/geom"
+)
+
+// Entry is one indexed item, mirroring rtree.Entry.
+type Entry struct {
+	Rect geom.Rect
+	Data int64
+}
+
+// Index is a uniform grid over a known bounding world. The zero value
+// is unusable; construct with New.
+type Index struct {
+	world geom.Rect
+	n     int // n×n cells
+	cellW float64
+	cellH float64
+	cells [][]int32 // entry indices per cell
+	ents  []Entry
+	// stamp/visit implement O(1) per-query deduplication of entries
+	// that span multiple cells.
+	stamp []int32
+	cur   int32
+}
+
+// New creates an empty grid of n×n cells over the world rectangle.
+// Entries may extend beyond the world; they are clamped into the
+// boundary cells.
+func New(world geom.Rect, n int) (*Index, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("grid: need at least one cell, got %d", n)
+	}
+	if world.IsEmpty() || world.Area() == 0 {
+		return nil, fmt.Errorf("grid: world must have positive area, got %v", world)
+	}
+	return &Index{
+		world: world,
+		n:     n,
+		cellW: world.Width() / float64(n),
+		cellH: world.Height() / float64(n),
+		cells: make([][]int32, n*n),
+	}, nil
+}
+
+// Len returns the number of indexed entries.
+func (g *Index) Len() int { return len(g.ents) }
+
+// Insert adds an entry to the index.
+func (g *Index) Insert(r geom.Rect, data int64) {
+	id := int32(len(g.ents))
+	g.ents = append(g.ents, Entry{Rect: r, Data: data})
+	g.stamp = append(g.stamp, 0)
+	x0, y0, x1, y1 := g.cellRange(r)
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			ci := cy*g.n + cx
+			g.cells[ci] = append(g.cells[ci], id)
+		}
+	}
+}
+
+// Search calls fn for every entry whose rectangle intersects q, each
+// exactly once. Traversal stops early when fn returns false. Search is
+// not safe for concurrent use (the deduplication stamps are shared).
+func (g *Index) Search(q geom.Rect, fn func(Entry) bool) {
+	g.cur++
+	if g.cur == math.MaxInt32 {
+		// Stamp wrap-around: reset all marks.
+		for i := range g.stamp {
+			g.stamp[i] = 0
+		}
+		g.cur = 1
+	}
+	x0, y0, x1, y1 := g.cellRange(q)
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			for _, id := range g.cells[cy*g.n+cx] {
+				if g.stamp[id] == g.cur {
+					continue
+				}
+				g.stamp[id] = g.cur
+				if e := &g.ents[id]; e.Rect.Intersects(q) {
+					if !fn(*e) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// cellRange returns the inclusive cell coordinates overlapped by r,
+// clamped to the grid.
+func (g *Index) cellRange(r geom.Rect) (x0, y0, x1, y1 int) {
+	x0 = g.clamp(int(math.Floor((r.MinX - g.world.MinX) / g.cellW)))
+	y0 = g.clamp(int(math.Floor((r.MinY - g.world.MinY) / g.cellH)))
+	x1 = g.clamp(int(math.Floor((r.MaxX - g.world.MinX) / g.cellW)))
+	y1 = g.clamp(int(math.Floor((r.MaxY - g.world.MinY) / g.cellH)))
+	return
+}
+
+func (g *Index) clamp(i int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= g.n {
+		return g.n - 1
+	}
+	return i
+}
+
+// Stats summarises occupancy for tuning the resolution.
+type Stats struct {
+	Cells        int
+	Entries      int
+	MaxPerCell   int
+	AvgPerCell   float64 // over non-empty cells
+	EmptyCells   int
+	Replication  float64 // average cells per entry
+	TotalSlotted int
+}
+
+// Stats returns occupancy statistics.
+func (g *Index) Stats() Stats {
+	s := Stats{Cells: g.n * g.n, Entries: len(g.ents)}
+	nonEmpty := 0
+	for _, c := range g.cells {
+		if len(c) == 0 {
+			s.EmptyCells++
+			continue
+		}
+		nonEmpty++
+		s.TotalSlotted += len(c)
+		if len(c) > s.MaxPerCell {
+			s.MaxPerCell = len(c)
+		}
+	}
+	if nonEmpty > 0 {
+		s.AvgPerCell = float64(s.TotalSlotted) / float64(nonEmpty)
+	}
+	if len(g.ents) > 0 {
+		s.Replication = float64(s.TotalSlotted) / float64(len(g.ents))
+	}
+	return s
+}

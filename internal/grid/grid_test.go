@@ -1,0 +1,174 @@
+package grid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"geofootprint/internal/geom"
+)
+
+func unit() geom.Rect { return geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1} }
+
+func randEntries(rng *rand.Rand, n int) []Entry {
+	es := make([]Entry, n)
+	for i := range es {
+		x, y := rng.Float64(), rng.Float64()
+		es[i] = Entry{
+			Rect: geom.Rect{MinX: x, MinY: y,
+				MaxX: x + rng.Float64()*0.1, MaxY: y + rng.Float64()*0.1},
+			Data: int64(i),
+		}
+	}
+	return es
+}
+
+func collect(g *Index, q geom.Rect) []int64 {
+	var out []int64
+	g.Search(q, func(e Entry) bool {
+		out = append(out, e.Data)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func linear(es []Entry, q geom.Rect) []int64 {
+	var out []int64
+	for _, e := range es {
+		if e.Rect.Intersects(q) {
+			out = append(out, e.Data)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(unit(), 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(geom.EmptyRect(), 8); err == nil {
+		t.Error("empty world accepted")
+	}
+	if _, err := New(geom.Rect{MinX: 1, MinY: 1, MaxX: 1, MaxY: 1}, 8); err == nil {
+		t.Error("zero-area world accepted")
+	}
+	g, err := New(unit(), 8)
+	if err != nil || g.Len() != 0 {
+		t.Fatalf("valid construction failed: %v", err)
+	}
+}
+
+func TestSearchMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 4, 32} {
+		g, err := New(unit(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es := randEntries(rng, 800)
+		for _, e := range es {
+			g.Insert(e.Rect, e.Data)
+		}
+		if g.Len() != len(es) {
+			t.Fatalf("Len = %d", g.Len())
+		}
+		for trial := 0; trial < 60; trial++ {
+			x, y := rng.Float64(), rng.Float64()
+			q := geom.Rect{MinX: x, MinY: y,
+				MaxX: x + rng.Float64()*0.3, MaxY: y + rng.Float64()*0.3}
+			got, want := collect(g, q), linear(es, q)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d trial %d: %d hits, want %d", n, trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d trial %d: hit %d = %d, want %d", n, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestNoDuplicateVisits(t *testing.T) {
+	// A rectangle spanning many cells must be reported once.
+	g, _ := New(unit(), 16)
+	g.Insert(geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.9, MaxY: 0.9}, 42)
+	count := 0
+	g.Search(unit(), func(e Entry) bool {
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Errorf("entry visited %d times, want 1", count)
+	}
+}
+
+func TestEntriesOutsideWorld(t *testing.T) {
+	// Entries beyond the world clamp into boundary cells and remain
+	// findable.
+	g, _ := New(unit(), 8)
+	g.Insert(geom.Rect{MinX: -5, MinY: -5, MaxX: -4, MaxY: -4}, 1)
+	g.Insert(geom.Rect{MinX: 3, MinY: 0.5, MaxX: 4, MaxY: 0.6}, 2)
+	if got := collect(g, geom.Rect{MinX: -10, MinY: -10, MaxX: 10, MaxY: 10}); len(got) != 2 {
+		t.Errorf("hits = %v, want both out-of-world entries", got)
+	}
+	// A query far from them (but clamping to the same boundary cells)
+	// must not return them: the exact Intersects check filters.
+	if got := collect(g, geom.Rect{MinX: 0.4, MinY: 0.9, MaxX: 0.5, MaxY: 0.95}); len(got) != 0 {
+		t.Errorf("interior query returned %v", got)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	g, _ := New(unit(), 4)
+	for i := 0; i < 10; i++ {
+		g.Insert(geom.Rect{MinX: 0.5, MinY: 0.5, MaxX: 0.51, MaxY: 0.51}, int64(i))
+	}
+	count := 0
+	g.Search(unit(), func(e Entry) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d, want 3", count)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g, _ := New(unit(), 4)
+	g.Insert(geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 1) // all 16 cells
+	g.Insert(geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.12, MaxY: 0.12}, 2)
+	s := g.Stats()
+	if s.Cells != 16 || s.Entries != 2 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.TotalSlotted != 17 {
+		t.Errorf("TotalSlotted = %d, want 17", s.TotalSlotted)
+	}
+	if s.Replication != 8.5 {
+		t.Errorf("Replication = %v, want 8.5", s.Replication)
+	}
+	if s.MaxPerCell != 2 {
+		t.Errorf("MaxPerCell = %d, want 2", s.MaxPerCell)
+	}
+}
+
+func TestManySearchesStampStability(t *testing.T) {
+	// Repeated searches must keep deduplicating correctly.
+	rng := rand.New(rand.NewSource(5))
+	g, _ := New(unit(), 8)
+	es := randEntries(rng, 100)
+	for _, e := range es {
+		g.Insert(e.Rect, e.Data)
+	}
+	q := geom.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.8, MaxY: 0.8}
+	want := collect(g, q)
+	for i := 0; i < 1000; i++ {
+		got := collect(g, q)
+		if len(got) != len(want) {
+			t.Fatalf("search %d: %d hits, want %d", i, len(got), len(want))
+		}
+	}
+}

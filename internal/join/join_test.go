@@ -1,0 +1,137 @@
+package join
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"geofootprint/internal/geom"
+)
+
+func randRects(rng *rand.Rand, n int, grid int) []geom.Rect {
+	rs := make([]geom.Rect, n)
+	for i := range rs {
+		x1 := float64(rng.Intn(grid))
+		y1 := float64(rng.Intn(grid))
+		rs[i] = geom.Rect{
+			MinX: x1, MinY: y1,
+			MaxX: x1 + float64(rng.Intn(grid/2)+1),
+			MaxY: y1 + float64(rng.Intn(grid/2)+1),
+		}
+	}
+	return rs
+}
+
+func collect(f func(as, bs []geom.Rect, emit func(i, j int)), as, bs []geom.Rect) []string {
+	var pairs []string
+	f(as, bs, func(i, j int) { pairs = append(pairs, fmt.Sprintf("%d-%d", i, j)) })
+	sort.Strings(pairs)
+	return pairs
+}
+
+func TestPlaneSweepEmpty(t *testing.T) {
+	rs := []geom.Rect{{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}
+	if got := collect(PlaneSweep, nil, rs); len(got) != 0 {
+		t.Errorf("PlaneSweep(nil, rs) emitted %v", got)
+	}
+	if got := collect(PlaneSweep, rs, nil); len(got) != 0 {
+		t.Errorf("PlaneSweep(rs, nil) emitted %v", got)
+	}
+}
+
+func TestPlaneSweepSimple(t *testing.T) {
+	as := []geom.Rect{
+		{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2},
+		{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6},
+	}
+	bs := []geom.Rect{
+		{MinX: 1, MinY: 1, MaxX: 3, MaxY: 3}, // intersects as[0]
+		{MinX: 9, MinY: 9, MaxX: 10, MaxY: 10},
+	}
+	got := collect(PlaneSweep, as, bs)
+	want := []string{"0-0"}
+	if len(got) != 1 || got[0] != want[0] {
+		t.Errorf("pairs = %v, want %v", got, want)
+	}
+}
+
+func TestPlaneSweepTouching(t *testing.T) {
+	// Rectangles sharing only an edge or corner intersect under
+	// closed-box semantics.
+	as := []geom.Rect{{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}
+	bs := []geom.Rect{
+		{MinX: 1, MinY: 0, MaxX: 2, MaxY: 1}, // shared edge
+		{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}, // shared corner
+		{MinX: 1.001, MinY: 0, MaxX: 2, MaxY: 1},
+	}
+	got := collect(PlaneSweep, as, bs)
+	want := []string{"0-0", "0-1"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("pairs = %v, want %v", got, want)
+	}
+}
+
+func TestPlaneSweepMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 60; trial++ {
+		as := randRects(rng, rng.Intn(40), 20)
+		bs := randRects(rng, rng.Intn(40), 20)
+		got := collect(PlaneSweep, as, bs)
+		want := collect(BruteForce, as, bs)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d pairs, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: pair %d = %s, want %s", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPlaneSweepNoDuplicates(t *testing.T) {
+	// Heavy overlap with shared coordinates: every pair must be
+	// emitted exactly once.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		as := randRects(rng, 30, 6) // small grid forces shared MinX
+		bs := randRects(rng, 30, 6)
+		seen := map[[2]int]int{}
+		PlaneSweep(as, bs, func(i, j int) { seen[[2]int{i, j}]++ })
+		for k, c := range seen {
+			if c != 1 {
+				t.Fatalf("trial %d: pair %v emitted %d times", trial, k, c)
+			}
+		}
+	}
+}
+
+func TestIntersectionAreaSum(t *testing.T) {
+	as := []geom.Rect{{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}}
+	bs := []geom.Rect{
+		{MinX: 1, MinY: 1, MaxX: 3, MaxY: 3}, // overlap 1
+		{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, // overlap 1
+		{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}, // disjoint
+	}
+	if got := IntersectionAreaSum(as, bs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("IntersectionAreaSum = %v, want 2", got)
+	}
+	if got := IntersectionAreaSum(nil, bs); got != 0 {
+		t.Errorf("empty input sum = %v, want 0", got)
+	}
+}
+
+func TestIntersectionAreaSumSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		as := randRects(rng, 20, 12)
+		bs := randRects(rng, 25, 12)
+		ab := IntersectionAreaSum(as, bs)
+		ba := IntersectionAreaSum(bs, as)
+		if math.Abs(ab-ba) > 1e-9 {
+			t.Fatalf("trial %d: sum not symmetric: %v vs %v", trial, ab, ba)
+		}
+	}
+}

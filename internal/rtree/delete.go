@@ -1,0 +1,104 @@
+package rtree
+
+import "geofootprint/internal/geom"
+
+// Delete removes one entry with exactly the given rectangle and
+// payload, returning whether one was found. Removal follows Guttman's
+// CondenseTree along the deletion path: nodes on the path that fall
+// below the minimum fill are dissolved and their remaining entries
+// reinserted, and the root collapses while it has a single child.
+// Among duplicate entries, an arbitrary one is removed.
+//
+// Only the path actually touched by the deletion is condensed, so the
+// (legally) underfull edge nodes of an STR bulk-loaded tree are left
+// alone until a deletion passes through them.
+func (t *Tree) Delete(r geom.Rect, data int64) bool {
+	path, idx := t.findLeafPath(t.root, r, data, nil)
+	if path == nil {
+		return false
+	}
+	leaf := path[len(path)-1]
+	leaf.rects = append(leaf.rects[:idx], leaf.rects[idx+1:]...)
+	leaf.data = append(leaf.data[:idx], leaf.data[idx+1:]...)
+	t.size--
+
+	// CondenseTree: walk the path bottom-up; dissolve underfull
+	// non-root nodes, refresh stored MBRs otherwise.
+	var orphans []*node
+	for level := len(path) - 1; level >= 1; level-- {
+		n := path[level]
+		parent := path[level-1]
+		ci := childIndex(parent, n)
+		if len(n.rects) < t.min {
+			parent.rects = append(parent.rects[:ci], parent.rects[ci+1:]...)
+			parent.children = append(parent.children[:ci], parent.children[ci+1:]...)
+			if len(n.rects) > 0 {
+				orphans = append(orphans, n)
+			}
+			continue
+		}
+		parent.rects[ci] = mbrOf(n)
+	}
+
+	// Reinsert entries of dissolved subtrees at leaf level.
+	for _, n := range orphans {
+		n.each(func(e Entry) {
+			t.size-- // Insert re-increments
+			t.Insert(e.Rect, e.Data)
+		})
+	}
+	// Collapse a root left with a single child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if t.root.leaf && len(t.root.rects) == 0 {
+		t.root.data = t.root.data[:0] // keep the empty-leaf invariant tidy
+	}
+	return true
+}
+
+// findLeafPath locates a leaf containing the exact (rect, data) entry,
+// returning the root-to-leaf path and the entry's index in the leaf.
+func (t *Tree) findLeafPath(n *node, r geom.Rect, data int64, prefix []*node) ([]*node, int) {
+	path := append(prefix, n)
+	if n.leaf {
+		for i := range n.rects {
+			if n.rects[i] == r && n.data[i] == data {
+				out := make([]*node, len(path))
+				copy(out, path)
+				return out, i
+			}
+		}
+		return nil, -1
+	}
+	for i, cr := range n.rects {
+		if cr.ContainsRect(r) {
+			if found, idx := t.findLeafPath(n.children[i], r, data, path); found != nil {
+				return found, idx
+			}
+		}
+	}
+	return nil, -1
+}
+
+func childIndex(parent, child *node) int {
+	for i, c := range parent.children {
+		if c == child {
+			return i
+		}
+	}
+	panic("rtree: child not under parent")
+}
+
+// each visits every entry under n.
+func (n *node) each(fn func(Entry)) {
+	if n.leaf {
+		for i := range n.rects {
+			fn(Entry{Rect: n.rects[i], Data: n.data[i]})
+		}
+		return
+	}
+	for _, c := range n.children {
+		c.each(fn)
+	}
+}

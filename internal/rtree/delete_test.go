@@ -1,0 +1,189 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"geofootprint/internal/geom"
+)
+
+func TestDeleteSimple(t *testing.T) {
+	tr := New(4)
+	r1 := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	r2 := geom.Rect{MinX: 2, MinY: 2, MaxX: 3, MaxY: 3}
+	tr.Insert(r1, 1)
+	tr.Insert(r2, 2)
+	if !tr.Delete(r1, 1) {
+		t.Fatal("Delete of present entry returned false")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+	hits := collectSearch(tr, geom.Rect{MinX: -1, MinY: -1, MaxX: 10, MaxY: 10})
+	if !sameIDs(hits, []int64{2}) {
+		t.Errorf("remaining = %v, want [2]", hits)
+	}
+	// Deleting again fails.
+	if tr.Delete(r1, 1) {
+		t.Error("Delete of absent entry returned true")
+	}
+	// Wrong payload fails.
+	if tr.Delete(r2, 99) {
+		t.Error("Delete with wrong payload returned true")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	es := randEntries(rng, 500, 50)
+	tr := insertAll(es, 6)
+	// Delete in random order.
+	order := rng.Perm(len(es))
+	for i, oi := range order {
+		if !tr.Delete(es[oi].Rect, es[oi].Data) {
+			t.Fatalf("delete %d (entry %d) failed", i, oi)
+		}
+		if tr.Len() != len(es)-i-1 {
+			t.Fatalf("Len = %d after %d deletes", tr.Len(), i+1)
+		}
+		if i%50 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("Validate after %d deletes: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("emptied tree: Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+}
+
+func TestDeleteKeepsQueriesCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	es := randEntries(rng, 1200, 100)
+	tr := insertAll(es, 16)
+	alive := make(map[int]bool, len(es))
+	for i := range es {
+		alive[i] = true
+	}
+	for round := 0; round < 40; round++ {
+		// Delete a random batch of 20.
+		deleted := 0
+		for i := range alive {
+			if !alive[i] {
+				continue
+			}
+			if !tr.Delete(es[i].Rect, es[i].Data) {
+				t.Fatalf("delete of live entry %d failed", i)
+			}
+			alive[i] = false
+			if deleted++; deleted == 20 {
+				break
+			}
+		}
+		// Check random queries against a filtered linear scan.
+		var live []Entry
+		for i, e := range es {
+			if alive[i] {
+				live = append(live, e)
+			}
+		}
+		for q := 0; q < 5; q++ {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			query := geom.Rect{MinX: x, MinY: y, MaxX: x + 15, MaxY: y + 15}
+			got := collectSearch(tr, query)
+			want := linearSearch(live, query)
+			if !sameIDs(got, want) {
+				t.Fatalf("round %d: query mismatch: %d vs %d hits", round, len(got), len(want))
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("round %d: Validate: %v", round, err)
+		}
+	}
+}
+
+func TestDeleteFromBulkTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	es := randEntries(rng, 800, 50)
+	tr := Bulk(es, 16)
+	for i := 0; i < 400; i++ {
+		if !tr.Delete(es[i].Rect, es[i].Data) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 400 {
+		t.Errorf("Len = %d, want 400", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	got := collectSearch(tr, geom.Rect{MinX: -1, MinY: -1, MaxX: 200, MaxY: 200})
+	want := linearSearch(es[400:], geom.Rect{MinX: -1, MinY: -1, MaxX: 200, MaxY: 200})
+	if !sameIDs(got, want) {
+		t.Errorf("%d entries remain, want %d", len(got), len(want))
+	}
+}
+
+func TestDeleteDuplicates(t *testing.T) {
+	tr := New(4)
+	r := geom.Rect{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}
+	for i := 0; i < 30; i++ {
+		tr.Insert(r, 7)
+	}
+	for i := 0; i < 30; i++ {
+		if !tr.Delete(r, 7) {
+			t.Fatalf("duplicate delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after deleting all duplicates", tr.Len())
+	}
+	if tr.Delete(r, 7) {
+		t.Error("extra delete succeeded")
+	}
+}
+
+func TestInsertDeleteInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	tr := New(8)
+	type rec struct {
+		r geom.Rect
+		d int64
+	}
+	var live []rec
+	nextID := int64(0)
+	for step := 0; step < 3000; step++ {
+		if len(live) == 0 || rng.Float64() < 0.55 {
+			x, y := rng.Float64()*50, rng.Float64()*50
+			r := geom.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*3, MaxY: y + rng.Float64()*3}
+			tr.Insert(r, nextID)
+			live = append(live, rec{r, nextID})
+			nextID++
+		} else {
+			i := rng.Intn(len(live))
+			if !tr.Delete(live[i].r, live[i].d) {
+				t.Fatalf("step %d: delete failed", step)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("step %d: Len=%d, live=%d", step, tr.Len(), len(live))
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("final Validate: %v", err)
+	}
+	// Final full comparison.
+	es := make([]Entry, len(live))
+	for i, l := range live {
+		es[i] = Entry{Rect: l.r, Data: l.d}
+	}
+	q := geom.Rect{MinX: 10, MinY: 10, MaxX: 30, MaxY: 30}
+	if got, want := collectSearch(tr, q), linearSearch(es, q); !sameIDs(got, want) {
+		t.Errorf("final query: %d vs %d hits", len(got), len(want))
+	}
+}

@@ -1,0 +1,19 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"geofootprint/internal/geom"
+)
+
+func BenchmarkBulkHilbert10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(71))
+	es := randEntries(rng, 10000, 100)
+	world := geom.Rect{MinX: 0, MinY: 0, MaxX: 105, MaxY: 105}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkHilbert(es, world, 32)
+	}
+}

@@ -1,0 +1,82 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"geofootprint/internal/geom"
+)
+
+func TestHilbertDProperties(t *testing.T) {
+	const n = 1 << 4 // 16x16 grid
+	seen := map[uint64]bool{}
+	for x := uint32(0); x < n; x++ {
+		for y := uint32(0); y < n; y++ {
+			d := hilbertD(n, x, y)
+			if d >= n*n {
+				t.Fatalf("d(%d,%d) = %d out of range", x, y, d)
+			}
+			if seen[d] {
+				t.Fatalf("duplicate curve index %d", d)
+			}
+			seen[d] = true
+		}
+	}
+	if len(seen) != n*n {
+		t.Fatalf("curve covers %d cells, want %d", len(seen), n*n)
+	}
+	// Consecutive curve positions are adjacent cells (the defining
+	// locality property of the Hilbert curve).
+	pos := make(map[uint64][2]uint32, n*n)
+	for x := uint32(0); x < n; x++ {
+		for y := uint32(0); y < n; y++ {
+			pos[hilbertD(n, x, y)] = [2]uint32{x, y}
+		}
+	}
+	for d := uint64(0); d+1 < n*n; d++ {
+		a, b := pos[d], pos[d+1]
+		dx := int(a[0]) - int(b[0])
+		dy := int(a[1]) - int(b[1])
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("curve jump between d=%d (%v) and d=%d (%v)", d, a, d+1, b)
+		}
+	}
+}
+
+func TestBulkHilbertMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	world := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	for _, n := range []int{0, 1, 33, 2000} {
+		es := randEntries(rng, n, 100)
+		tr := BulkHilbert(es, world, 16)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: Validate: %v", n, err)
+		}
+		for trial := 0; trial < 25; trial++ {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			q := geom.Rect{MinX: x, MinY: y, MaxX: x + 15, MaxY: y + 15}
+			got := collectSearch(tr, q)
+			want := linearSearch(es, q)
+			if !sameIDs(got, want) {
+				t.Fatalf("n=%d trial %d: %d hits, want %d", n, trial, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestBulkHilbertEntriesOutsideWorld(t *testing.T) {
+	world := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	es := []Entry{
+		{Rect: geom.Rect{MinX: -5, MinY: -5, MaxX: -4, MaxY: -4}, Data: 1},
+		{Rect: geom.Rect{MinX: 2, MinY: 2, MaxX: 3, MaxY: 3}, Data: 2},
+		{Rect: geom.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.6, MaxY: 0.6}, Data: 3},
+	}
+	tr := BulkHilbert(es, world, 4)
+	got := collectSearch(tr, geom.Rect{MinX: -10, MinY: -10, MaxX: 10, MaxY: 10})
+	if !sameIDs(got, []int64{1, 2, 3}) {
+		t.Errorf("hits = %v", got)
+	}
+}

@@ -1,0 +1,100 @@
+package rtree
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"geofootprint/internal/geom"
+)
+
+// Persistence: trees serialise to a flat wire format (pre-order node
+// list with child counts) so a service can load a prebuilt index at
+// startup instead of re-inserting millions of entries.
+
+// wireTree is the gob wire format.
+type wireTree struct {
+	Max, Min int
+	Size     int
+	Nodes    []wireNode
+}
+
+type wireNode struct {
+	Leaf     bool
+	Rects    []geom.Rect
+	Data     []int64 // leaves only
+	Children int     // inner nodes: number of direct children
+}
+
+// Write serialises the tree to w.
+func (t *Tree) Write(w io.Writer) error {
+	wt := wireTree{Max: t.max, Min: t.min, Size: t.size}
+	var flatten func(n *node)
+	flatten = func(n *node) {
+		wn := wireNode{Leaf: n.leaf, Rects: n.rects, Data: n.data, Children: len(n.children)}
+		wt.Nodes = append(wt.Nodes, wn)
+		for _, c := range n.children {
+			flatten(c)
+		}
+	}
+	flatten(t.root)
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(&wt); err != nil {
+		return fmt.Errorf("rtree: encoding: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadFrom deserialises a tree previously written with Write.
+func ReadFrom(r io.Reader) (*Tree, error) {
+	var wt wireTree
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("rtree: decoding: %w", err)
+	}
+	if len(wt.Nodes) == 0 {
+		return nil, fmt.Errorf("rtree: empty wire format")
+	}
+	if wt.Max < 4 || wt.Min < 0 || wt.Min > wt.Max {
+		return nil, fmt.Errorf("rtree: implausible fanout [%d,%d]", wt.Min, wt.Max)
+	}
+	pos := 0
+	var rebuild func() (*node, error)
+	rebuild = func() (*node, error) {
+		if pos >= len(wt.Nodes) {
+			return nil, fmt.Errorf("rtree: truncated wire format")
+		}
+		wn := wt.Nodes[pos]
+		pos++
+		n := &node{leaf: wn.Leaf, rects: wn.Rects, data: wn.Data}
+		if wn.Leaf {
+			if len(n.data) != len(n.rects) {
+				return nil, fmt.Errorf("rtree: leaf shape mismatch")
+			}
+			return n, nil
+		}
+		if wn.Children != len(wn.Rects) {
+			return nil, fmt.Errorf("rtree: inner shape mismatch")
+		}
+		for i := 0; i < wn.Children; i++ {
+			c, err := rebuild()
+			if err != nil {
+				return nil, err
+			}
+			n.children = append(n.children, c)
+		}
+		return n, nil
+	}
+	root, err := rebuild()
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(wt.Nodes) {
+		return nil, fmt.Errorf("rtree: %d trailing nodes in wire format", len(wt.Nodes)-pos)
+	}
+	t := &Tree{root: root, size: wt.Size, max: wt.Max, min: wt.Min}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("rtree: deserialised tree invalid: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,69 @@
+package rtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"geofootprint/internal/geom"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, build := range []string{"insert", "bulk"} {
+		es := randEntries(rng, 2000, 100)
+		var tr *Tree
+		if build == "insert" {
+			tr = insertAll(es, 16)
+		} else {
+			tr = Bulk(es, 16)
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("%s: Write: %v", build, err)
+		}
+		got, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatalf("%s: ReadFrom: %v", build, err)
+		}
+		if got.Len() != tr.Len() || got.Height() != tr.Height() {
+			t.Fatalf("%s: shape mismatch after round trip", build)
+		}
+		for trial := 0; trial < 30; trial++ {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			q := geom.Rect{MinX: x, MinY: y, MaxX: x + 10, MaxY: y + 10}
+			a, b := collectSearch(tr, q), collectSearch(got, q)
+			if !sameIDs(a, b) {
+				t.Fatalf("%s: query mismatch after round trip", build)
+			}
+		}
+		// The loaded tree remains mutable.
+		got.Insert(geom.Rect{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}, 99999)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("%s: insert after load: %v", build, err)
+		}
+	}
+}
+
+func TestPersistEmptyTree(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(8).Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if got.Len() != 0 || got.Height() != 1 {
+		t.Errorf("empty tree shape wrong after round trip")
+	}
+}
+
+func TestReadFromGarbage(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte("not a tree"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadFrom(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}

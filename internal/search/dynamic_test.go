@@ -1,0 +1,153 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+	"geofootprint/internal/store"
+)
+
+// checkAgainstFresh verifies that incrementally maintained indexes
+// answer queries identically to indexes rebuilt from scratch and to a
+// linear scan.
+func checkAgainstFresh(t *testing.T, db *store.FootprintDB, roi *RoIIndex, uc *UserCentricIndex, queries []core.Footprint, k int) {
+	t.Helper()
+	lin := NewLinearScan(db)
+	freshRoI := NewRoIIndex(db, BuildSTR, 0)
+	freshUC := NewUserCentricIndex(db, BuildSTR, 0)
+	for qi, q := range queries {
+		want := lin.TopK(q, k)
+		for name, got := range map[string][]Result{
+			"incremental iterative": roi.TopKIterative(q, k),
+			"incremental batch":     roi.TopKBatch(q, k),
+			"incremental uc":        uc.TopK(q, k),
+			"fresh iterative":       freshRoI.TopKIterative(q, k),
+			"fresh uc":              freshUC.TopK(q, k),
+		} {
+			sameRanking(t, name+" (query "+string(rune('0'+qi%10))+")", got, want)
+		}
+	}
+}
+
+func TestDynamicUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	db := testDB(t, rng, 60)
+	roi := NewRoIIndex(db, BuildInsert, 8)
+	uc := NewUserCentricIndex(db, BuildInsert, 8)
+
+	mkFootprint := func() core.Footprint {
+		return clusteredFootprints(rng, 1, 12)[0]
+	}
+
+	for round := 0; round < 15; round++ {
+		switch round % 4 {
+		case 0: // replace an existing user's footprint
+			id := db.IDs[rng.Intn(20)]
+			u := db.Upsert(id, mkFootprint())
+			roi.UpdateUser(u)
+			uc.UpdateUser(u)
+		case 1: // add a brand-new user
+			id := 100000 + round
+			u := db.Upsert(id, mkFootprint())
+			roi.UpdateUser(u)
+			uc.UpdateUser(u)
+		case 2: // extend a user's footprint with new sessions' RoIs
+			id := db.IDs[rng.Intn(db.Len())]
+			extra := mkFootprint()[:1]
+			u := db.AppendRoIs(id, extra)
+			roi.UpdateUser(u)
+			uc.UpdateUser(u)
+		case 3: // remove a user
+			id := db.IDs[rng.Intn(db.Len())]
+			if db.Remove(id) {
+				u, _ := db.IndexOf(id)
+				roi.UpdateUser(u)
+				uc.UpdateUser(u)
+			}
+		}
+		if err := roi.Tree().Validate(); err != nil {
+			t.Fatalf("round %d: RoI tree: %v", round, err)
+		}
+		if err := uc.Tree().Validate(); err != nil {
+			t.Fatalf("round %d: UC tree: %v", round, err)
+		}
+		queries := []core.Footprint{
+			db.Footprints[rng.Intn(db.Len())],
+			mkFootprint(),
+		}
+		checkAgainstFresh(t, db, roi, uc, queries, 5)
+	}
+}
+
+func TestRemovedUserUnreachable(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	db := testDB(t, rng, 30)
+	roi := NewRoIIndex(db, BuildSTR, 0)
+	uc := NewUserCentricIndex(db, BuildSTR, 0)
+
+	victim := db.IDs[5]
+	q := append(core.Footprint(nil), db.Footprints[5]...) // copy before tombstoning
+	if !db.Remove(victim) {
+		t.Fatal("Remove failed")
+	}
+	u, _ := db.IndexOf(victim)
+	roi.UpdateUser(u)
+	uc.UpdateUser(u)
+
+	for name, res := range map[string][]Result{
+		"linear":    NewLinearScan(db).TopK(q, db.Len()),
+		"iterative": roi.TopKIterative(q, db.Len()),
+		"batch":     roi.TopKBatch(q, db.Len()),
+		"uc":        uc.TopK(q, db.Len()),
+	} {
+		for _, r := range res {
+			if r.ID == victim {
+				t.Errorf("%s: removed user %d still returned", name, victim)
+			}
+		}
+	}
+}
+
+func TestUpsertNewUserFindable(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	db := testDB(t, rng, 25)
+	roi := NewRoIIndex(db, BuildInsert, 0)
+	uc := NewUserCentricIndex(db, BuildInsert, 0)
+
+	f := core.Footprint{{Rect: geom.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.42, MaxY: 0.42}, Weight: 1}}
+	u := db.Upsert(7777, f)
+	roi.UpdateUser(u)
+	uc.UpdateUser(u)
+
+	for name, res := range map[string][]Result{
+		"iterative": roi.TopKIterative(f, 1),
+		"batch":     roi.TopKBatch(f, 1),
+		"uc":        uc.TopK(f, 1),
+	} {
+		if len(res) == 0 || res[0].ID != 7777 || res[0].Score < 1-1e-9 {
+			t.Errorf("%s: new user not top-ranked for its own footprint: %v", name, res)
+		}
+	}
+}
+
+func TestAppendRoIsKeepsSorted(t *testing.T) {
+	db, err := store.FromFootprints("s", []int{1}, []core.Footprint{{
+		{Rect: geom.Rect{MinX: 0.5, MinY: 0, MaxX: 0.6, MaxY: 0.1}, Weight: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AppendRoIs(1, []core.Region{
+		{Rect: geom.Rect{MinX: 0.1, MinY: 0, MaxX: 0.2, MaxY: 0.1}, Weight: 1},
+	})
+	f := db.Footprints[0]
+	if len(f) != 2 || f[0].Rect.MinX > f[1].Rect.MinX {
+		t.Errorf("footprint not sorted after AppendRoIs: %+v", f)
+	}
+	// Norm refreshed.
+	if got, want := db.Norms[0], core.Norm(f); got != want {
+		t.Errorf("norm stale after AppendRoIs: %v vs %v", got, want)
+	}
+}

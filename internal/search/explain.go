@@ -1,0 +1,83 @@
+package search
+
+import (
+	"sort"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+)
+
+// Explanation decomposes one similarity score into the contributions
+// of individual region pairs — the answer to "why was this user
+// recommended". Contributions are the terms of Equation 1's numerator:
+// |r_i ∩ q_j| · w_i · w_j, normalised by the norm product, so they sum
+// to the similarity.
+type Explanation struct {
+	Similarity    float64
+	Contributions []Contribution
+	// PairsExamined counts intersecting region pairs (the K of
+	// Algorithm 4's complexity bound).
+	PairsExamined int
+}
+
+// Contribution is one intersecting region pair and its share of the
+// similarity.
+type Contribution struct {
+	// UserRect and QueryRect are the two overlapping regions.
+	UserRect  geom.Rect
+	QueryRect geom.Rect
+	// Overlap is their intersection.
+	Overlap geom.Rect
+	// Share is this pair's fraction of the final similarity score
+	// (all shares sum to 1 when Similarity > 0).
+	Share float64
+	// Value is the pair's absolute contribution to the similarity.
+	Value float64
+}
+
+// Explain computes the similarity of a user footprint to a query and
+// its per-pair breakdown, best-contributing pairs first, truncated to
+// at most maxPairs entries (0 = all).
+func Explain(user, query core.Footprint, userNorm, queryNorm float64, maxPairs int) Explanation {
+	ex := Explanation{}
+	denom := userNorm * queryNorm
+	if denom == 0 {
+		return ex
+	}
+	var simn float64
+	// Small footprints: the quadratic scan is simpler than a sweep
+	// and this is a per-result diagnostic, not a hot path.
+	for _, u := range user {
+		for _, q := range query {
+			a := u.Rect.IntersectionArea(q.Rect)
+			if a <= 0 {
+				continue
+			}
+			ex.PairsExamined++
+			v := a * u.Weight * q.Weight / denom
+			simn += v
+			ex.Contributions = append(ex.Contributions, Contribution{
+				UserRect:  u.Rect,
+				QueryRect: q.Rect,
+				Overlap:   u.Rect.Intersection(q.Rect),
+				Value:     v,
+			})
+		}
+	}
+	ex.Similarity = simn
+	if ex.Similarity > 1 {
+		ex.Similarity = 1
+	}
+	if simn > 0 {
+		for i := range ex.Contributions {
+			ex.Contributions[i].Share = ex.Contributions[i].Value / simn
+		}
+	}
+	sort.Slice(ex.Contributions, func(i, j int) bool {
+		return ex.Contributions[i].Value > ex.Contributions[j].Value
+	})
+	if maxPairs > 0 && len(ex.Contributions) > maxPairs {
+		ex.Contributions = ex.Contributions[:maxPairs]
+	}
+	return ex
+}

@@ -1,0 +1,74 @@
+package search
+
+import (
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+	"geofootprint/internal/grid"
+	"geofootprint/internal/store"
+	"geofootprint/internal/topk"
+)
+
+// GridIndex is the uniform-grid alternative to the Section 6.1 RoI
+// R-tree: every RoI of every footprint hashes into the grid cells it
+// overlaps, and queries accumulate Equation 1's numerator exactly as
+// the iterative R-tree search does. It exists as an ablation baseline
+// — same results, different index substrate.
+type GridIndex struct {
+	db *store.FootprintDB
+	g  *grid.Index
+}
+
+// NewGridIndex indexes every region of every footprint on an n×n grid
+// over the given world rectangle (use the unit square for normalized
+// data; resolution 64 is a reasonable default for paper-sized RoIs).
+func NewGridIndex(db *store.FootprintDB, world geom.Rect, n int) (*GridIndex, error) {
+	g, err := grid.New(world, n)
+	if err != nil {
+		return nil, err
+	}
+	ix := &GridIndex{db: db, g: g}
+	for u, f := range db.Footprints {
+		for r, reg := range f {
+			g.Insert(reg.Rect, packPayload(u, r))
+		}
+	}
+	return ix, nil
+}
+
+// Grid exposes the underlying grid (for stats).
+func (ix *GridIndex) Grid() *grid.Index { return ix.g }
+
+// TopK implements Searcher with iterative accumulation, mirroring
+// RoIIndex.TopKIterative over the grid.
+func (ix *GridIndex) TopK(q core.Footprint, k int) []Result {
+	qnorm := core.Norm(q)
+	if qnorm == 0 || k <= 0 {
+		return nil
+	}
+	simn := make(map[int]float64)
+	for _, qr := range q {
+		ix.g.Search(qr.Rect, func(e grid.Entry) bool {
+			if a := e.Rect.IntersectionArea(qr.Rect); a > 0 {
+				u, r := unpackPayload(e.Data)
+				simn[u] += a * ix.db.Footprints[u][r].Weight * qr.Weight
+			}
+			return true
+		})
+	}
+	col := topk.New(k)
+	for u, n := range simn {
+		if n <= 0 {
+			continue
+		}
+		denom := ix.db.Norms[u] * qnorm
+		if denom == 0 {
+			continue
+		}
+		sim := n / denom
+		if sim > 1 {
+			sim = 1
+		}
+		col.Offer(ix.db.IDs[u], sim)
+	}
+	return col.Results()
+}

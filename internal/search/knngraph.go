@@ -1,0 +1,67 @@
+package search
+
+import (
+	"runtime"
+	"sync"
+
+	"geofootprint/internal/core"
+)
+
+// KNNGraph computes, for every user of the index's database, its k
+// most similar other users (self excluded) — the k-nearest-neighbour
+// graph over footprint similarity. It is the batch building block
+// behind link recommendation in geo-social networks (Section 1) and
+// graph-based clustering. Rows are index-aligned with the database;
+// users with zero norm get nil rows. Runs on `workers` goroutines
+// (GOMAXPROCS if <= 0).
+func KNNGraph(ix *UserCentricIndex, k, workers int) [][]Result {
+	db := ix.db
+	n := db.Len()
+	out := make([][]Result, n)
+	if k <= 0 || n == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range rows {
+				if db.Norms[u] == 0 {
+					continue
+				}
+				out[u] = neighboursOf(ix, db.Footprints[u], db.IDs[u], k)
+			}
+		}()
+	}
+	for u := 0; u < n; u++ {
+		rows <- u
+	}
+	close(rows)
+	wg.Wait()
+	return out
+}
+
+// neighboursOf returns the k most similar users to q, excluding
+// selfID.
+func neighboursOf(ix *UserCentricIndex, q core.Footprint, selfID, k int) []Result {
+	res := ix.TopK(q, k+1)
+	out := make([]Result, 0, k)
+	for _, r := range res {
+		if r.ID == selfID {
+			continue
+		}
+		out = append(out, r)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}

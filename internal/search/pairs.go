@@ -1,0 +1,128 @@
+package search
+
+import (
+	"container/heap"
+	"runtime"
+	"sort"
+	"sync"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/rtree"
+)
+
+// This file provides the similarity self-join: the globally most
+// similar user pairs, a building block for the data-mining tasks the
+// paper motivates (duplicate-visitor detection, social-tie candidates,
+// seeding clusters).
+
+// Pair is one ranked user pair (A < B by external ID) with its
+// footprint similarity.
+type Pair struct {
+	A, B  int
+	Score float64
+}
+
+// pairBetter orders pairs best-first: higher score, then smaller
+// (A, B) for determinism.
+func pairBetter(x, y Pair) bool {
+	if x.Score != y.Score {
+		return x.Score > y.Score
+	}
+	if x.A != y.A {
+		return x.A < y.A
+	}
+	return x.B < y.B
+}
+
+// pairHeap is a min-heap whose root is the worst retained pair.
+type pairHeap []Pair
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return pairBetter(h[j], h[i]) }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(Pair)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (h *pairHeap) offer(k int, p Pair) {
+	if len(*h) < k {
+		heap.Push(h, p)
+		return
+	}
+	if pairBetter(p, (*h)[0]) {
+		(*h)[0] = p
+		heap.Fix(h, 0)
+	}
+}
+
+// TopSimilarPairs returns the k most similar distinct user pairs in
+// the index's database, best-first, with positive similarity only.
+// The user-centric R-tree prunes the quadratic pair space: for each
+// user only users whose footprint MBR intersects theirs are refined
+// (with Algorithm 4), and every unordered pair is scored exactly once.
+// Runs on `workers` goroutines (GOMAXPROCS if <= 0).
+func TopSimilarPairs(ix *UserCentricIndex, k, workers int) []Pair {
+	db := ix.db
+	n := db.Len()
+	if k <= 0 || n < 2 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	locals := make([]pairHeap, workers)
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := &locals[w]
+			for u := range rows {
+				if db.Norms[u] == 0 {
+					continue
+				}
+				fu, nu := db.Footprints[u], db.Norms[u]
+				ix.tree.Search(db.MBRs[u], func(e rtree.Entry) bool {
+					v := int(e.Data)
+					if v <= u { // score each unordered pair once
+						return true
+					}
+					sim := core.SimilarityJoin(fu, db.Footprints[v], nu, db.Norms[v])
+					if sim > 0 {
+						a, b := db.IDs[u], db.IDs[v]
+						if b < a {
+							a, b = b, a
+						}
+						local.offer(k, Pair{A: a, B: b, Score: sim})
+					}
+					return true
+				})
+			}
+		}(w)
+	}
+	for u := 0; u < n; u++ {
+		rows <- u
+	}
+	close(rows)
+	wg.Wait()
+
+	var all []Pair
+	for _, l := range locals {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return pairBetter(all[i], all[j]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

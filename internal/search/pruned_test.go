@@ -1,0 +1,60 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTopKPrunedMatchesTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	db := testDB(t, rng, 200)
+	ix := NewUserCentricIndex(db, BuildSTR, 0)
+	for trial := 0; trial < 30; trial++ {
+		var q = db.Footprints[rng.Intn(db.Len())]
+		if trial%3 == 0 {
+			q = clusteredFootprints(rng, 1, 12)[0]
+		}
+		k := 1 + rng.Intn(10)
+		want := ix.TopK(q, k)
+		got := ix.TopKPruned(q, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d result %d: %+v, want %+v (pruning changed the ranking)",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopKPrunedAfterDynamicUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	db := testDB(t, rng, 50)
+	ix := NewUserCentricIndex(db, BuildInsert, 0)
+	q := db.Footprints[0]
+	// Materialise the pruning cache, then mutate a user.
+	_ = ix.TopKPruned(q, 5)
+	u := db.Upsert(db.IDs[3], clusteredFootprints(rng, 1, 12)[0])
+	ix.UpdateUser(u)
+	want := ix.TopK(q, 5)
+	got := ix.TopKPruned(q, 5)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: %+v, want %+v (stale pruning cache)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMaxFreq(t *testing.T) {
+	if got := maxFreq(nil); got != 0 {
+		t.Errorf("maxFreq(nil) = %v", got)
+	}
+	f := clusteredFootprints(rand.New(rand.NewSource(1)), 1, 3)[0]
+	// Stacking the footprint on itself doubles the max frequency.
+	double := append(append(f[:0:0], f...), f...)
+	if a, b := maxFreq(f), maxFreq(double); b != 2*a {
+		t.Errorf("maxFreq double = %v, want %v", b, 2*a)
+	}
+}

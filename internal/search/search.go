@@ -1,0 +1,308 @@
+// Package search implements the top-k footprint-similarity search
+// methods of Section 6 of the paper:
+//
+//   - LinearScan — the index-free baseline: Algorithm 4 against every
+//     user.
+//   - RoIIndex — an R-tree over all RoIs of all users, searched either
+//     iteratively (one range query per query RoI, Section 6.1.1) or in
+//     batch (one guided traversal with per-leaf plane-sweep joins,
+//     Section 6.1.2).
+//   - UserCentricIndex — an R-tree with one entry per user (the MBR of
+//     the user's footprint), refined with Algorithm 4 (Section 6.2).
+//
+// All methods share the same scoring and tie-breaking, so on the same
+// database they return identical rankings (verified by tests). Users
+// with zero similarity are never returned, so a result may hold fewer
+// than k entries.
+package search
+
+import (
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+	"geofootprint/internal/rtree"
+	"geofootprint/internal/store"
+	"geofootprint/internal/topk"
+)
+
+// Result is a ranked user: its external ID and similarity score.
+type Result = topk.Result
+
+// Searcher answers top-k footprint similarity queries.
+type Searcher interface {
+	// TopK returns the k users most similar to the query footprint,
+	// best first. Users with similarity 0 are omitted, so fewer
+	// than k results may be returned.
+	TopK(q core.Footprint, k int) []Result
+}
+
+// LinearScan is the baseline searcher: similarity against every user
+// with the join-based Algorithm 4 (norms are precomputed in the
+// database).
+type LinearScan struct {
+	db *store.FootprintDB
+}
+
+// NewLinearScan returns a LinearScan over db.
+func NewLinearScan(db *store.FootprintDB) *LinearScan {
+	return &LinearScan{db: db}
+}
+
+// TopK implements Searcher.
+func (s *LinearScan) TopK(q core.Footprint, k int) []Result {
+	qnorm := core.Norm(q)
+	if qnorm == 0 || k <= 0 {
+		return nil
+	}
+	col := topk.New(k)
+	for i, f := range s.db.Footprints {
+		if sim := core.SimilarityJoin(f, q, s.db.Norms[i], qnorm); sim > 0 {
+			col.Offer(s.db.IDs[i], sim)
+		}
+	}
+	return col.Results()
+}
+
+// payload encoding for the RoI R-tree: user index and region index
+// packed into an int64.
+const regionBits = 24
+
+func packPayload(user, region int) int64 {
+	return int64(user)<<regionBits | int64(region)
+}
+
+func unpackPayload(p int64) (user, region int) {
+	return int(p >> regionBits), int(p & (1<<regionBits - 1))
+}
+
+// RoIIndex is the Section 6.1 index: every RoI of every footprint is
+// an R-tree entry tagged with its owner.
+type RoIIndex struct {
+	db   *store.FootprintDB
+	tree *rtree.Tree
+	// indexed records, per user, the rectangles currently in the
+	// tree, enabling incremental UpdateUser after database
+	// mutations.
+	indexed [][]geom.Rect
+}
+
+// BuildMode selects the R-tree construction path.
+type BuildMode int
+
+const (
+	// BuildSTR bulk-loads the tree with sort-tile-recursive packing.
+	BuildSTR BuildMode = iota
+	// BuildInsert constructs the tree by one-by-one Guttman
+	// insertion, the paper's implicit build path.
+	BuildInsert
+)
+
+// NewRoIIndex indexes every region of every footprint in db.
+// maxEntries <= 0 selects the default node capacity.
+func NewRoIIndex(db *store.FootprintDB, mode BuildMode, maxEntries int) *RoIIndex {
+	ix := &RoIIndex{db: db, indexed: make([][]geom.Rect, db.Len())}
+	for u, f := range db.Footprints {
+		for _, reg := range f {
+			ix.indexed[u] = append(ix.indexed[u], reg.Rect)
+		}
+	}
+	switch mode {
+	case BuildInsert:
+		ix.tree = rtree.New(maxEntries)
+		for u, f := range db.Footprints {
+			for r, reg := range f {
+				ix.tree.Insert(reg.Rect, packPayload(u, r))
+			}
+		}
+	default:
+		entries := make([]rtree.Entry, 0, db.NumRegions())
+		for u, f := range db.Footprints {
+			for r, reg := range f {
+				entries = append(entries, rtree.Entry{Rect: reg.Rect, Data: packPayload(u, r)})
+			}
+		}
+		ix.tree = rtree.Bulk(entries, maxEntries)
+	}
+	return ix
+}
+
+// Tree exposes the underlying R-tree (for stats and tests).
+func (ix *RoIIndex) Tree() *rtree.Tree { return ix.tree }
+
+// TopK implements Searcher via iterative search (Section 6.1.1): one
+// R-tree range query per query RoI, accumulating the numerator of
+// Equation 1 per candidate user.
+func (ix *RoIIndex) TopK(q core.Footprint, k int) []Result {
+	return ix.TopKIterative(q, k)
+}
+
+// TopKIterative is the Section 6.1.1 baseline search.
+func (ix *RoIIndex) TopKIterative(q core.Footprint, k int) []Result {
+	qnorm := core.Norm(q)
+	if qnorm == 0 || k <= 0 {
+		return nil
+	}
+	simn := make(map[int]float64)
+	for _, qr := range q {
+		ix.tree.Search(qr.Rect, func(e rtree.Entry) bool {
+			if a := e.Rect.IntersectionArea(qr.Rect); a > 0 {
+				u, r := unpackPayload(e.Data)
+				simn[u] += a * ix.db.Footprints[u][r].Weight * qr.Weight
+			}
+			return true
+		})
+	}
+	return ix.rank(simn, qnorm, k)
+}
+
+// TopKBatch is the Section 6.1.2 batch search: a single traversal
+// guided by MBR(F(q)); at every reached leaf, entries not intersecting
+// MBR(F(q)) and query RoIs not intersecting the leaf MBR are
+// eliminated, and the survivors are joined by plane sweep.
+func (ix *RoIIndex) TopKBatch(q core.Footprint, k int) []Result {
+	qnorm := core.Norm(q)
+	if qnorm == 0 || k <= 0 {
+		return nil
+	}
+	qmbr := q.MBR()
+	simn := make(map[int]float64)
+
+	// The query regions are sorted by MinX once for the whole
+	// traversal (footprints from FromRoIs already are; ensureSorted
+	// is then a no-op copy check).
+	qs := make(core.Footprint, len(q))
+	copy(qs, q)
+	core.SortByMinX(qs)
+
+	ix.tree.SearchLeaves(qmbr, func(leafMBR geom.Rect, entries []rtree.Entry) {
+		// Eliminate query RoIs not intersecting the leaf MBR — the
+		// first elimination of Section 6.1.2. The query is sorted
+		// by MinX, so the scan stops at the first region starting
+		// past the leaf.
+		anyQ := false
+		for j := range qs {
+			if qs[j].Rect.MinX > leafMBR.MaxX {
+				break
+			}
+			if qs[j].Rect.Intersects(leafMBR) {
+				anyQ = true
+				break
+			}
+		}
+		if !anyQ {
+			return
+		}
+		// Join surviving leaf entries (those inside MBR(F(q)) — the
+		// second elimination) against the sorted query regions with
+		// an early-exit scan; leaves hold a few dozen entries, for
+		// which this beats sorting them per leaf.
+		for i := range entries {
+			e := &entries[i]
+			if !e.Rect.Intersects(qmbr) {
+				continue
+			}
+			for j := range qs {
+				if qs[j].Rect.MinX > e.Rect.MaxX {
+					break
+				}
+				ix.accumulate(simn, e, &qs[j])
+			}
+		}
+	})
+	return ix.rank(simn, qnorm, k)
+}
+
+// accumulate adds one (entry, query-region) pair's contribution to the
+// per-user numerator map.
+func (ix *RoIIndex) accumulate(simn map[int]float64, e *rtree.Entry, qr *core.Region) {
+	if a := e.Rect.IntersectionArea(qr.Rect); a > 0 {
+		u, r := unpackPayload(e.Data)
+		simn[u] += a * ix.db.Footprints[u][r].Weight * qr.Weight
+	}
+}
+
+func (ix *RoIIndex) rank(simn map[int]float64, qnorm float64, k int) []Result {
+	col := topk.New(k)
+	for u, n := range simn {
+		if n <= 0 {
+			continue
+		}
+		denom := ix.db.Norms[u] * qnorm
+		if denom == 0 {
+			continue
+		}
+		sim := n / denom
+		if sim > 1 {
+			sim = 1
+		}
+		col.Offer(ix.db.IDs[u], sim)
+	}
+	return col.Results()
+}
+
+// UserCentricIndex is the Section 6.2 index R^U: one R-tree entry per
+// user, keyed by the MBR of the user's footprint. Candidates whose
+// footprint MBR intersects the query MBR are refined with the
+// join-based Algorithm 4.
+type UserCentricIndex struct {
+	db   *store.FootprintDB
+	tree *rtree.Tree
+	// indexed records, per user, the MBR currently in the tree
+	// (empty when the user is not indexed), enabling incremental
+	// UpdateUser after database mutations.
+	indexed []geom.Rect
+	// maxW and twa cache each user's maximum footprint frequency
+	// and total weighted area for the upper-bound pruning of
+	// TopKPruned; nil until first use.
+	maxW []float64
+	twa  []float64
+}
+
+// NewUserCentricIndex indexes the footprint MBRs of db. Users with
+// empty footprints are not indexed. maxEntries <= 0 selects the
+// default node capacity.
+func NewUserCentricIndex(db *store.FootprintDB, mode BuildMode, maxEntries int) *UserCentricIndex {
+	ix := &UserCentricIndex{db: db, indexed: make([]geom.Rect, db.Len())}
+	for u, m := range db.MBRs {
+		ix.indexed[u] = m
+	}
+	switch mode {
+	case BuildInsert:
+		ix.tree = rtree.New(maxEntries)
+		for u, m := range db.MBRs {
+			if !m.IsEmpty() {
+				ix.tree.Insert(m, int64(u))
+			}
+		}
+	default:
+		entries := make([]rtree.Entry, 0, db.Len())
+		for u, m := range db.MBRs {
+			if !m.IsEmpty() {
+				entries = append(entries, rtree.Entry{Rect: m, Data: int64(u)})
+			}
+		}
+		ix.tree = rtree.Bulk(entries, maxEntries)
+	}
+	return ix
+}
+
+// Tree exposes the underlying R-tree (for stats and tests).
+func (ix *UserCentricIndex) Tree() *rtree.Tree { return ix.tree }
+
+// TopK implements Searcher.
+func (ix *UserCentricIndex) TopK(q core.Footprint, k int) []Result {
+	qnorm := core.Norm(q)
+	if qnorm == 0 || k <= 0 {
+		return nil
+	}
+	qmbr := q.MBR()
+	col := topk.New(k)
+	ix.tree.Search(qmbr, func(e rtree.Entry) bool {
+		u := int(e.Data)
+		sim := core.SimilarityJoin(ix.db.Footprints[u], q, ix.db.Norms[u], qnorm)
+		if sim > 0 {
+			col.Offer(ix.db.IDs[u], sim)
+		}
+		return true
+	})
+	return col.Results()
+}

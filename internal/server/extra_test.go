@@ -1,0 +1,86 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+func TestPairsEndpoint(t *testing.T) {
+	s, db := testServer(t)
+	rec, list := doList(t, s.Handler(), "GET", "/v1/pairs?k=5", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if len(list) == 0 || len(list) > 5 {
+		t.Fatalf("got %d pairs", len(list))
+	}
+	prev := 2.0
+	for _, p := range list {
+		a, b := int(p["a"].(float64)), int(p["b"].(float64))
+		sim := p["similarity"].(float64)
+		if a >= b {
+			t.Errorf("pair not ordered: %v", p)
+		}
+		if sim > prev {
+			t.Errorf("pairs not best-first")
+		}
+		prev = sim
+		if _, ok := db.IndexOf(a); !ok {
+			t.Errorf("pair references unknown user %d", a)
+		}
+	}
+	rec, _ = do(t, s.Handler(), "GET", "/v1/pairs?k=0", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("k=0 status %d", rec.Code)
+	}
+}
+
+func TestClassifyEndpoint(t *testing.T) {
+	s, db := testServer(t)
+	h := s.Handler()
+
+	// Before labels are registered: 503.
+	body := `{"regions":[{"rect":[0.1,0.1,0.2,0.2],"weight":1}]}`
+	rec, _ := do(t, h, "POST", "/v1/classify", body)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("unlabelled status %d", rec.Code)
+	}
+
+	// Label the first half of users by coarse location.
+	labels := map[int]string{}
+	for i := 0; i < db.Len()/2; i++ {
+		name := "west"
+		if db.MBRs[i].Center().X > 0.5 {
+			name = "east"
+		}
+		labels[db.IDs[i]] = name
+	}
+	if err := s.SetLabels(labels, 5); err != nil {
+		t.Fatalf("SetLabels: %v", err)
+	}
+
+	// Classify a footprint sitting on a labelled user.
+	i, _ := db.IndexOf(db.IDs[0])
+	r := db.Footprints[i][0].Rect
+	body = `{"regions":[{"rect":[` +
+		fm(r.MinX) + `,` + fm(r.MinY) + `,` + fm(r.MaxX) + `,` + fm(r.MaxY) + `],"weight":1}]}`
+	rec, obj := do(t, h, "POST", "/v1/classify", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("classify status %d: %v", rec.Code, obj)
+	}
+	if obj["label"] != labels[db.IDs[0]] {
+		t.Errorf("label = %v, want %v (votes %v)", obj["label"], labels[db.IDs[0]], obj["votes"])
+	}
+	// Bad body.
+	rec, _ = do(t, h, "POST", "/v1/classify", "garbage")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("garbage status %d", rec.Code)
+	}
+	// Bad labels rejected.
+	if err := s.SetLabels(nil, 5); err == nil {
+		t.Error("empty labels accepted")
+	}
+}
+
+func fm(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }

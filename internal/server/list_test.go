@@ -1,0 +1,78 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestListUsers(t *testing.T) {
+	s, db := testServer(t) // 30 users
+	h := s.Handler()
+
+	rec, obj := do(t, h, "GET", "/v1/users?limit=10", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if int(obj["total"].(float64)) != db.Len() {
+		t.Errorf("total = %v", obj["total"])
+	}
+	users := obj["users"].([]interface{})
+	if len(users) != 10 {
+		t.Fatalf("page size %d", len(users))
+	}
+	next := int(obj["next"].(float64))
+	if next != 10 {
+		t.Fatalf("next = %d", next)
+	}
+	// Walk all pages; collect IDs.
+	seen := map[int]bool{}
+	offset := 0
+	for pages := 0; pages < 10; pages++ {
+		rec, obj := do(t, h, "GET", "/v1/users?limit=10&offset="+itoa(offset), "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("page status %d", rec.Code)
+		}
+		for _, u := range obj["users"].([]interface{}) {
+			id := int(u.(map[string]interface{})["id"].(float64))
+			if seen[id] {
+				t.Fatalf("duplicate user %d across pages", id)
+			}
+			seen[id] = true
+		}
+		n := int(obj["next"].(float64))
+		if n == -1 {
+			break
+		}
+		offset = n
+	}
+	if len(seen) != db.Len() {
+		t.Errorf("pagination visited %d users, want %d", len(seen), db.Len())
+	}
+	// Tombstoned users disappear from listings.
+	do(t, h, "DELETE", "/v1/users/100", "")
+	_, obj = do(t, h, "GET", "/v1/users?limit=1000", "")
+	for _, u := range obj["users"].([]interface{}) {
+		if int(u.(map[string]interface{})["id"].(float64)) == 100 {
+			t.Error("tombstoned user listed")
+		}
+	}
+	// Bad params.
+	for _, bad := range []string{"?offset=-1", "?limit=0", "?limit=5000", "?offset=x"} {
+		rec, _ := do(t, h, "GET", "/v1/users"+bad, "")
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s status %d", bad, rec.Code)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

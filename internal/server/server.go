@@ -1,0 +1,299 @@
+// Package server exposes a FootprintDB over HTTP/JSON: similarity
+// queries, top-k search, dynamic footprint updates, and health. It is
+// the integration surface a recommender or market-analysis system
+// would call, wrapping the Section 5/6 machinery behind a small REST
+// API.
+//
+// Routes (Go 1.22 pattern syntax):
+//
+//	GET    /healthz                  liveness + corpus size
+//	GET    /v1/users/{id}            footprint summary
+//	GET    /v1/users/{id}/similar    top-k similar users (?k=, ?exclude_self=)
+//	GET    /v1/similarity            pairwise score (?a=, ?b=)
+//	POST   /v1/query                 top-k for an ad-hoc footprint
+//	PUT    /v1/users/{id}            upsert a footprint (JSON body)
+//	DELETE /v1/users/{id}            tombstone a user
+//
+// Reads run concurrently; mutations serialise behind a write lock and
+// incrementally maintain the search index.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"geofootprint/internal/classify"
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+	"geofootprint/internal/search"
+	"geofootprint/internal/store"
+)
+
+// Server wraps a FootprintDB with a user-centric index behind HTTP.
+type Server struct {
+	mu  sync.RWMutex
+	db  *store.FootprintDB
+	idx *search.UserCentricIndex
+	cls *classify.Classifier // nil until SetLabels
+	mux *http.ServeMux
+}
+
+// New builds a server over db, indexing it immediately.
+func New(db *store.FootprintDB) *Server {
+	s := &Server{
+		db:  db,
+		idx: search.NewUserCentricIndex(db, search.BuildSTR, 0),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/users/{id}", s.handleGetUser)
+	s.mux.HandleFunc("GET /v1/users/{id}/similar", s.handleSimilar)
+	s.mux.HandleFunc("GET /v1/similarity", s.handlePairwise)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("PUT /v1/users/{id}", s.handlePutUser)
+	s.mux.HandleFunc("DELETE /v1/users/{id}", s.handleDeleteUser)
+	s.registerExtras()
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Wire types.
+
+type regionJSON struct {
+	Rect   [4]float64 `json:"rect"` // [minx, miny, maxx, maxy]
+	Weight float64    `json:"weight"`
+}
+
+type userJSON struct {
+	ID      int          `json:"id"`
+	Regions []regionJSON `json:"regions"`
+	Norm    float64      `json:"norm"`
+	MBR     [4]float64   `json:"mbr"`
+}
+
+type resultJSON struct {
+	ID         int     `json:"id"`
+	Similarity float64 `json:"similarity"`
+}
+
+type queryJSON struct {
+	Regions []regionJSON `json:"regions"`
+	K       int          `json:"k"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func toFootprint(regs []regionJSON) (core.Footprint, error) {
+	f := make(core.Footprint, 0, len(regs))
+	for i, r := range regs {
+		if r.Rect[0] > r.Rect[2] || r.Rect[1] > r.Rect[3] {
+			return nil, fmt.Errorf("region %d: inverted rectangle", i)
+		}
+		w := r.Weight
+		if w == 0 {
+			w = 1
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("region %d: negative weight", i)
+		}
+		f = append(f, core.Region{
+			Rect:   geom.Rect{MinX: r.Rect[0], MinY: r.Rect[1], MaxX: r.Rect[2], MaxY: r.Rect[3]},
+			Weight: w,
+		})
+	}
+	core.SortByMinX(f)
+	return f, nil
+}
+
+func fromFootprint(f core.Footprint) []regionJSON {
+	out := make([]regionJSON, len(f))
+	for i, r := range f {
+		out[i] = regionJSON{
+			Rect:   [4]float64{r.Rect.MinX, r.Rect.MinY, r.Rect.MaxX, r.Rect.MaxY},
+			Weight: r.Weight,
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	users, regions := s.db.Len(), s.db.NumRegions()
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "ok", "users": users, "regions": regions,
+	})
+}
+
+func (s *Server) userID(r *http.Request) (int, error) {
+	return strconv.Atoi(r.PathValue("id"))
+}
+
+func (s *Server) handleGetUser(w http.ResponseWriter, r *http.Request) {
+	id, err := s.userID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad user id: %v", err)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, ok := s.db.IndexOf(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown user %d", id)
+		return
+	}
+	m := s.db.MBRs[i]
+	writeJSON(w, http.StatusOK, userJSON{
+		ID:      id,
+		Regions: fromFootprint(s.db.Footprints[i]),
+		Norm:    s.db.Norms[i],
+		MBR:     [4]float64{m.MinX, m.MinY, m.MaxX, m.MaxY},
+	})
+}
+
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	id, err := s.userID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad user id: %v", err)
+		return
+	}
+	k := 5
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		if k, err = strconv.Atoi(kq); err != nil || k < 1 || k > 1000 {
+			writeError(w, http.StatusBadRequest, "bad k %q", kq)
+			return
+		}
+	}
+	excludeSelf := r.URL.Query().Get("exclude_self") == "true"
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, ok := s.db.IndexOf(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown user %d", id)
+		return
+	}
+	want := k
+	if excludeSelf {
+		want++
+	}
+	res := s.idx.TopK(s.db.Footprints[i], want)
+	out := make([]resultJSON, 0, k)
+	for _, rr := range res {
+		if excludeSelf && rr.ID == id {
+			continue
+		}
+		out = append(out, resultJSON{ID: rr.ID, Similarity: rr.Score})
+		if len(out) == k {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePairwise(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	a, errA := strconv.Atoi(q.Get("a"))
+	b, errB := strconv.Atoi(q.Get("b"))
+	if errA != nil || errB != nil {
+		writeError(w, http.StatusBadRequest, "need integer ?a= and ?b=")
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ia, okA := s.db.IndexOf(a)
+	ib, okB := s.db.IndexOf(b)
+	if !okA || !okB {
+		writeError(w, http.StatusNotFound, "unknown user")
+		return
+	}
+	sim := core.SimilarityJoin(s.db.Footprints[ia], s.db.Footprints[ib],
+		s.db.Norms[ia], s.db.Norms[ib])
+	writeJSON(w, http.StatusOK, map[string]float64{"similarity": sim})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var q queryJSON
+	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+		writeError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if q.K < 1 || q.K > 1000 {
+		writeError(w, http.StatusBadRequest, "k must be in [1,1000], got %d", q.K)
+		return
+	}
+	f, err := toFootprint(q.Regions)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad footprint: %v", err)
+		return
+	}
+	s.mu.RLock()
+	res := s.idx.TopK(f, q.K)
+	s.mu.RUnlock()
+	out := make([]resultJSON, len(res))
+	for i, rr := range res {
+		out[i] = resultJSON{ID: rr.ID, Similarity: rr.Score}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePutUser(w http.ResponseWriter, r *http.Request) {
+	id, err := s.userID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad user id: %v", err)
+		return
+	}
+	var regs []regionJSON
+	if err := json.NewDecoder(r.Body).Decode(&regs); err != nil {
+		writeError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	f, err := toFootprint(regs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad footprint: %v", err)
+		return
+	}
+	s.mu.Lock()
+	u := s.db.Upsert(id, f)
+	s.idx.UpdateUser(u)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"id": id, "regions": len(f)})
+}
+
+func (s *Server) handleDeleteUser(w http.ResponseWriter, r *http.Request) {
+	id, err := s.userID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad user id: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A tombstoned user still resolves in the database (dense
+	// indexes stay stable); treat an already-empty footprint as
+	// absent so deletes are not silently idempotent.
+	u, ok := s.db.IndexOf(id)
+	if !ok || len(s.db.Footprints[u]) == 0 {
+		writeError(w, http.StatusNotFound, "unknown user %d", id)
+		return
+	}
+	s.db.Remove(id)
+	s.idx.UpdateUser(u)
+	writeJSON(w, http.StatusOK, map[string]interface{}{"id": id, "deleted": true})
+}

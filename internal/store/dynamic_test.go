@@ -1,0 +1,88 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+)
+
+func smallDB(t *testing.T, seed int64, ids []int) *FootprintDB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	fps := make([]core.Footprint, len(ids))
+	for i := range fps {
+		x, y := rng.Float64(), rng.Float64()
+		fps[i] = core.Footprint{{
+			Rect:   geom.Rect{MinX: x, MinY: y, MaxX: x + 0.05, MaxY: y + 0.05},
+			Weight: 1,
+		}}
+	}
+	db, err := FromFootprints("dyn", ids, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestUpsertAndRemove(t *testing.T) {
+	db := smallDB(t, 1, []int{10, 20, 30})
+	// Replace user 20.
+	f := core.Footprint{{Rect: geom.Rect{MinX: 0.9, MinY: 0.9, MaxX: 0.95, MaxY: 0.95}, Weight: 2}}
+	u := db.Upsert(20, f)
+	if i, _ := db.IndexOf(20); i != u {
+		t.Errorf("Upsert index %d, IndexOf %d", u, i)
+	}
+	if db.Norms[u] != core.Norm(f) || db.MBRs[u] != f.MBR() {
+		t.Error("Upsert did not refresh norm/MBR")
+	}
+	// Add user 40.
+	n := db.Len()
+	u = db.Upsert(40, f)
+	if db.Len() != n+1 || u != n {
+		t.Errorf("new user index %d, Len %d", u, db.Len())
+	}
+	// Remove user 10: tombstoned, indexes stable.
+	if !db.Remove(10) {
+		t.Fatal("Remove failed")
+	}
+	if i, ok := db.IndexOf(10); !ok || i != 0 {
+		t.Error("tombstoned user lost its index")
+	}
+	if db.Norms[0] != 0 || len(db.Footprints[0]) != 0 {
+		t.Error("tombstone incomplete")
+	}
+	if db.Remove(999) {
+		t.Error("Remove of absent user succeeded")
+	}
+	// IDs of other users unaffected.
+	if i, _ := db.IndexOf(30); i != 2 {
+		t.Error("indexes shifted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := smallDB(t, 2, []int{1, 2, 3})
+	b := smallDB(t, 3, []int{10, 11})
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Len() != 5 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if i, ok := a.IndexOf(11); !ok || i != 4 {
+		t.Errorf("merged user index = %d, %v", i, ok)
+	}
+	if a.Norms[3] != b.Norms[0] {
+		t.Error("norms not carried over")
+	}
+	// Duplicate IDs abort without mutation.
+	c := smallDB(t, 4, []int{2, 99})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("duplicate merge accepted")
+	}
+	if a.Len() != 5 {
+		t.Error("failed merge mutated the receiver")
+	}
+}

@@ -1,0 +1,181 @@
+// Package store provides FootprintDB, the materialised collection of
+// user geo-footprints with their precomputed norms — the preprocessing
+// output of Section 5.1 that similarity computation and search build
+// on. The database persists via gob.
+package store
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/extract"
+	"geofootprint/internal/geom"
+	"geofootprint/internal/traj"
+)
+
+// FootprintDB holds, for every user, the geo-footprint F(u), its
+// Euclidean norm ||F(u)|| (Equation 2, computed with Algorithm 2) and
+// its MBR (the key of the user-centric index of Section 6.2). The
+// parallel slices are indexed by a dense user index; IDs maps back to
+// external user identifiers.
+type FootprintDB struct {
+	Name       string
+	IDs        []int
+	Footprints []core.Footprint
+	Norms      []float64
+	MBRs       []geom.Rect
+
+	byID map[int]int // lazily built ID → index
+}
+
+// Build extracts every user's footprint from the dataset with
+// Algorithm 1 under cfg, converts RoIs to regions under the given
+// weighting, and precomputes all norms with Algorithm 2. Extraction
+// and norm computation run on `workers` goroutines (GOMAXPROCS if
+// <= 0).
+func Build(d *traj.Dataset, cfg extract.Config, w core.Weighting, workers int) (*FootprintDB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rois := extract.ExtractDataset(d, cfg, workers)
+	db := &FootprintDB{
+		Name:       d.Name,
+		IDs:        make([]int, len(d.Users)),
+		Footprints: make([]core.Footprint, len(d.Users)),
+	}
+	for i := range d.Users {
+		db.IDs[i] = d.Users[i].ID
+		db.Footprints[i] = core.FromRoIs(rois[i], w)
+	}
+	db.ComputeNorms(workers)
+	return db, nil
+}
+
+// FromFootprints builds a database from already-materialised
+// footprints, precomputing norms and MBRs.
+func FromFootprints(name string, ids []int, fps []core.Footprint) (*FootprintDB, error) {
+	if len(ids) != len(fps) {
+		return nil, fmt.Errorf("store: %d ids for %d footprints", len(ids), len(fps))
+	}
+	db := &FootprintDB{Name: name, IDs: ids, Footprints: fps}
+	db.ComputeNorms(0)
+	return db, nil
+}
+
+// ComputeNorms (re)computes the norm and MBR of every footprint, in
+// parallel (the preprocessing phase of Section 5.1).
+func (db *FootprintDB) ComputeNorms(workers int) {
+	n := len(db.Footprints)
+	db.Norms = make([]float64, n)
+	db.MBRs = make([]geom.Rect, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, f := range db.Footprints {
+			db.Norms[i] = core.Norm(f)
+			db.MBRs[i] = f.MBR()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				db.Norms[i] = core.Norm(db.Footprints[i])
+				db.MBRs[i] = db.Footprints[i].MBR()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Len returns the number of users in the database.
+func (db *FootprintDB) Len() int { return len(db.IDs) }
+
+// IndexOf returns the dense index of the user with the given external
+// ID, or false when absent.
+func (db *FootprintDB) IndexOf(id int) (int, bool) {
+	if db.byID == nil {
+		db.byID = make(map[int]int, len(db.IDs))
+		for i, uid := range db.IDs {
+			db.byID[uid] = i
+		}
+	}
+	i, ok := db.byID[id]
+	return i, ok
+}
+
+// NumRegions returns the total number of footprint regions across all
+// users.
+func (db *FootprintDB) NumRegions() int {
+	n := 0
+	for _, f := range db.Footprints {
+		n += len(f)
+	}
+	return n
+}
+
+// dbWire is the gob wire format, decoupled from unexported fields.
+type dbWire struct {
+	Name       string
+	IDs        []int
+	Footprints []core.Footprint
+	Norms      []float64
+	MBRs       []geom.Rect
+}
+
+// Save writes the database to path in gob format.
+func (db *FootprintDB) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	w := dbWire{db.Name, db.IDs, db.Footprints, db.Norms, db.MBRs}
+	if err := gob.NewEncoder(bw).Encode(&w); err != nil {
+		return fmt.Errorf("store: encoding %s: %w", path, err)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a database previously written by Save.
+func Load(path string) (*FootprintDB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var w dbWire
+	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("store: decoding %s: %w", path, err)
+	}
+	db := &FootprintDB{Name: w.Name, IDs: w.IDs, Footprints: w.Footprints,
+		Norms: w.Norms, MBRs: w.MBRs}
+	if len(db.Norms) != len(db.IDs) || len(db.Footprints) != len(db.IDs) {
+		return nil, fmt.Errorf("store: %s: inconsistent lengths", path)
+	}
+	return db, nil
+}

@@ -1,0 +1,112 @@
+package sweep
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks of the coverage-list primitives: what an Algorithm 2/3
+// sweep pays per event.
+
+func activeList(n int) *CoverageList {
+	rng := rand.New(rand.NewSource(int64(n)))
+	d := New()
+	for i := 0; i < n; i++ {
+		lo := rng.Float64()
+		d.Insert(lo, lo+0.02, 1)
+	}
+	return d
+}
+
+func BenchmarkInsertRemove(b *testing.B) {
+	d := activeList(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Insert(0.4, 0.42, 1)
+		d.Remove(0.4, 0.42, 1)
+	}
+}
+
+func BenchmarkSumSquares(b *testing.B) {
+	d := activeList(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.SumSquares()
+	}
+}
+
+func BenchmarkIntegrateProduct(b *testing.B) {
+	x, y := activeList(32), activeList(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntegrateProduct(x, y)
+	}
+}
+
+// TestInterleavedProductOracle stresses IntegrateProduct against the
+// brute-force oracle while both lists mutate between evaluations —
+// the exact access pattern of Algorithm 3.
+func TestInterleavedProductOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		a, b := New(), New()
+		oa, ob := &oracle{}, &oracle{}
+		type iv struct{ lo, hi, w float64 }
+		var liveA, liveB []iv
+		coord := func() float64 { return float64(rng.Intn(14)) / 2 }
+		for step := 0; step < 120; step++ {
+			target := rng.Intn(2)
+			d, o := a, oa
+			live := &liveA
+			if target == 1 {
+				d, o, live = b, ob, &liveB
+			}
+			if len(*live) == 0 || rng.Float64() < 0.6 {
+				lo, hi := coord(), coord()
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				w := float64(1 + rng.Intn(3))
+				d.Insert(lo, hi, w)
+				o.insert(lo, hi, w)
+				*live = append(*live, iv{lo, hi, w})
+			} else {
+				i := rng.Intn(len(*live))
+				v := (*live)[i]
+				(*live)[i] = (*live)[len(*live)-1]
+				*live = (*live)[:len(*live)-1]
+				d.Remove(v.lo, v.hi, v.w)
+				o.remove(v.lo, v.hi, v.w)
+			}
+			// Brute-force product over all breakpoints.
+			pts := map[float64]bool{}
+			for _, p := range oa.breakpoints() {
+				pts[p] = true
+			}
+			for _, p := range ob.breakpoints() {
+				pts[p] = true
+			}
+			var all []float64
+			for p := range pts {
+				all = append(all, p)
+			}
+			for i := 0; i < len(all); i++ {
+				for j := i + 1; j < len(all); j++ {
+					if all[j] < all[i] {
+						all[i], all[j] = all[j], all[i]
+					}
+				}
+			}
+			var want float64
+			for i := 0; i+1 < len(all); i++ {
+				want += (all[i+1] - all[i]) * oa.coverage(all[i]) * ob.coverage(all[i])
+			}
+			if got := IntegrateProduct(a, b); !almostEq(got, want) {
+				t.Fatalf("trial %d step %d: product %v, want %v", trial, step, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package sweep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b float64) bool {
+	const eps = 1e-9
+	d := math.Abs(a - b)
+	return d <= eps || d <= eps*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// oracle is a brute-force model of the coverage function: the active
+// multiset of [lo, hi] intervals with weights.
+type oracle struct {
+	los, his, ws []float64
+}
+
+func (o *oracle) insert(lo, hi, w float64) {
+	o.los = append(o.los, lo)
+	o.his = append(o.his, hi)
+	o.ws = append(o.ws, w)
+}
+
+func (o *oracle) remove(lo, hi, w float64) {
+	for i := range o.los {
+		if o.los[i] == lo && o.his[i] == hi && o.ws[i] == w {
+			last := len(o.los) - 1
+			o.los[i], o.his[i], o.ws[i] = o.los[last], o.his[last], o.ws[last]
+			o.los, o.his, o.ws = o.los[:last], o.his[:last], o.ws[:last]
+			return
+		}
+	}
+	panic("oracle: remove of absent interval")
+}
+
+// coverage returns the total weight covering point y (half-open
+// [lo, hi) semantics, matching the breakpoint representation).
+func (o *oracle) coverage(y float64) float64 {
+	var c float64
+	for i := range o.los {
+		if o.los[i] <= y && y < o.his[i] {
+			c += o.ws[i]
+		}
+	}
+	return c
+}
+
+// sumSquares integrates count^2 by visiting every elementary interval
+// between consecutive breakpoints.
+func (o *oracle) sumSquares() float64 {
+	pts := o.breakpoints()
+	var s float64
+	for i := 0; i+1 < len(pts); i++ {
+		c := o.coverage(pts[i])
+		s += (pts[i+1] - pts[i]) * c * c
+	}
+	return s
+}
+
+func (o *oracle) breakpoints() []float64 {
+	set := map[float64]bool{}
+	for i := range o.los {
+		set[o.los[i]] = true
+		set[o.his[i]] = true
+	}
+	pts := make([]float64, 0, len(set))
+	for p := range set {
+		pts = append(pts, p)
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[j] < pts[i] {
+				pts[i], pts[j] = pts[j], pts[i]
+			}
+		}
+	}
+	return pts
+}
+
+func TestEmptyList(t *testing.T) {
+	d := New()
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (sentinel)", d.Len())
+	}
+	if got := d.SumSquares(); got != 0 {
+		t.Errorf("SumSquares = %v, want 0", got)
+	}
+	called := false
+	d.Segments(func(lo, hi, c float64) { called = true })
+	if called {
+		t.Error("Segments on empty list should not call back")
+	}
+}
+
+func TestSingleInterval(t *testing.T) {
+	d := New()
+	d.Insert(2, 5, 1)
+	if got := d.SumSquares(); !almostEq(got, 3) {
+		t.Errorf("SumSquares = %v, want 3", got)
+	}
+	var segs [][3]float64
+	d.Segments(func(lo, hi, c float64) { segs = append(segs, [3]float64{lo, hi, c}) })
+	if len(segs) != 1 || segs[0] != [3]float64{2, 5, 1} {
+		t.Errorf("Segments = %v, want [[2 5 1]]", segs)
+	}
+	d.Remove(2, 5, 1)
+	if got := d.SumSquares(); got != 0 {
+		t.Errorf("after removal SumSquares = %v, want 0", got)
+	}
+	if d.Len() != 1 {
+		t.Errorf("after removal Len = %d, want 1", d.Len())
+	}
+}
+
+func TestOverlappingIntervals(t *testing.T) {
+	// [0,10] w=1 and [5,15] w=1: counts 1 on [0,5), 2 on [5,10), 1 on [10,15).
+	d := New()
+	d.Insert(0, 10, 1)
+	d.Insert(5, 15, 1)
+	want := 5.0*1 + 5.0*4 + 5.0*1
+	if got := d.SumSquares(); !almostEq(got, want) {
+		t.Errorf("SumSquares = %v, want %v", got, want)
+	}
+	var segs [][3]float64
+	d.Segments(func(lo, hi, c float64) { segs = append(segs, [3]float64{lo, hi, c}) })
+	wantSegs := [][3]float64{{0, 5, 1}, {5, 10, 2}, {10, 15, 1}}
+	if len(segs) != len(wantSegs) {
+		t.Fatalf("Segments = %v, want %v", segs, wantSegs)
+	}
+	for i := range segs {
+		if segs[i] != wantSegs[i] {
+			t.Errorf("segment %d = %v, want %v", i, segs[i], wantSegs[i])
+		}
+	}
+}
+
+func TestWeightedIntervals(t *testing.T) {
+	d := New()
+	d.Insert(0, 2, 2.5)
+	d.Insert(1, 3, 0.5)
+	// [0,1): 2.5^2=6.25; [1,2): 3^2=9; [2,3): 0.25.
+	want := 6.25 + 9 + 0.25
+	if got := d.SumSquares(); !almostEq(got, want) {
+		t.Errorf("SumSquares = %v, want %v", got, want)
+	}
+}
+
+func TestSharedBoundaries(t *testing.T) {
+	// The tricky case: rectangles sharing boundary coordinates, in
+	// multiple insertion/removal orders.
+	type op struct {
+		insert    bool
+		lo, hi, w float64
+	}
+	scenarios := [][]op{
+		{{true, 0, 10, 1}, {true, 0, 5, 1}, {false, 0, 10, 1}, {false, 0, 5, 1}},
+		{{true, 0, 10, 1}, {true, 0, 5, 1}, {false, 0, 5, 1}, {false, 0, 10, 1}},
+		{{true, 0, 10, 1}, {true, 5, 10, 1}, {false, 0, 10, 1}, {false, 5, 10, 1}},
+		{{true, 0, 10, 1}, {true, 5, 10, 1}, {false, 5, 10, 1}, {false, 0, 10, 1}},
+		{{true, 0, 5, 1}, {true, 0, 5, 1}, {false, 0, 5, 1}, {false, 0, 5, 1}},
+		{{true, 0, 5, 2}, {true, 5, 9, 3}, {false, 0, 5, 2}, {false, 5, 9, 3}},
+	}
+	for si, ops := range scenarios {
+		d := New()
+		o := &oracle{}
+		for oi, op := range ops {
+			if op.insert {
+				d.Insert(op.lo, op.hi, op.w)
+				o.insert(op.lo, op.hi, op.w)
+			} else {
+				d.Remove(op.lo, op.hi, op.w)
+				o.remove(op.lo, op.hi, op.w)
+			}
+			if got, want := d.SumSquares(), o.sumSquares(); !almostEq(got, want) {
+				t.Errorf("scenario %d after op %d: SumSquares = %v, want %v", si, oi, got, want)
+			}
+		}
+		if d.Len() != 1 {
+			t.Errorf("scenario %d: leftover entries: %d", si, d.Len())
+		}
+	}
+}
+
+func TestDegenerateInterval(t *testing.T) {
+	// Zero-height interval: contributes nothing but must round-trip.
+	d := New()
+	d.Insert(0, 10, 1)
+	d.Insert(5, 5, 1)
+	if got := d.SumSquares(); !almostEq(got, 10) {
+		t.Errorf("SumSquares = %v, want 10", got)
+	}
+	d.Remove(5, 5, 1)
+	d.Remove(0, 10, 1)
+	if d.Len() != 1 {
+		t.Errorf("leftover entries: %d", d.Len())
+	}
+}
+
+func TestRemovePanicsOnAbsent(t *testing.T) {
+	d := New()
+	d.Insert(0, 10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Remove of absent boundary should panic")
+		}
+	}()
+	d.Remove(3, 7, 1)
+}
+
+func TestRandomAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		d := New()
+		o := &oracle{}
+		type iv struct{ lo, hi, w float64 }
+		var active []iv
+		// Coordinates drawn from a small grid to force shared
+		// boundaries; weights from a small set.
+		coord := func() float64 { return float64(rng.Intn(20)) / 2 }
+		for step := 0; step < 200; step++ {
+			if len(active) == 0 || rng.Float64() < 0.55 {
+				lo, hi := coord(), coord()
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				w := float64(1 + rng.Intn(3))
+				if rng.Float64() < 0.3 {
+					w += 0.5
+				}
+				d.Insert(lo, hi, w)
+				o.insert(lo, hi, w)
+				active = append(active, iv{lo, hi, w})
+			} else {
+				i := rng.Intn(len(active))
+				v := active[i]
+				active[i] = active[len(active)-1]
+				active = active[:len(active)-1]
+				d.Remove(v.lo, v.hi, v.w)
+				o.remove(v.lo, v.hi, v.w)
+			}
+			if got, want := d.SumSquares(), o.sumSquares(); !almostEq(got, want) {
+				t.Fatalf("trial %d step %d: SumSquares = %v, want %v", trial, step, got, want)
+			}
+			// Spot-check coverage via Segments at probe points.
+			probes := map[float64]float64{}
+			d.Segments(func(lo, hi, c float64) {
+				probes[(lo+hi)/2] = c
+				probes[lo] = c
+			})
+			for y, c := range probes {
+				if want := o.coverage(y); !almostEq(c, want) {
+					t.Fatalf("trial %d step %d: coverage(%v) = %v, want %v", trial, step, y, c, want)
+				}
+			}
+		}
+		// Drain and verify the list returns to its pristine state.
+		for _, v := range active {
+			d.Remove(v.lo, v.hi, v.w)
+		}
+		if d.Len() != 1 || d.SumSquares() != 0 {
+			t.Fatalf("trial %d: list not pristine after drain", trial)
+		}
+	}
+}
+
+func TestIntegrateProduct(t *testing.T) {
+	a, b := New(), New()
+	// No overlap in counts: product is 0.
+	a.Insert(0, 1, 1)
+	b.Insert(2, 3, 1)
+	if got := IntegrateProduct(a, b); got != 0 {
+		t.Errorf("disjoint IntegrateProduct = %v, want 0", got)
+	}
+	// Overlap [2,3): a count 2 there, b count 1.
+	a.Insert(1.5, 4, 2)
+	if got := IntegrateProduct(a, b); !almostEq(got, 1*2*1) {
+		t.Errorf("IntegrateProduct = %v, want 2", got)
+	}
+	// Identity: product with itself equals SumSquares.
+	if got := IntegrateProduct(a, a); !almostEq(got, a.SumSquares()) {
+		t.Errorf("self product %v != SumSquares %v", got, a.SumSquares())
+	}
+}
+
+func TestIntegrateProductRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		a, b := New(), New()
+		oa, ob := &oracle{}, &oracle{}
+		coord := func() float64 { return float64(rng.Intn(16)) / 2 }
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			lo, hi := coord(), coord()
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			w := float64(1 + rng.Intn(3))
+			a.Insert(lo, hi, w)
+			oa.insert(lo, hi, w)
+		}
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			lo, hi := coord(), coord()
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			w := float64(1 + rng.Intn(3))
+			b.Insert(lo, hi, w)
+			ob.insert(lo, hi, w)
+		}
+		// Brute-force product integral over elementary intervals.
+		pts := map[float64]bool{}
+		for _, p := range oa.breakpoints() {
+			pts[p] = true
+		}
+		for _, p := range ob.breakpoints() {
+			pts[p] = true
+		}
+		var all []float64
+		for p := range pts {
+			all = append(all, p)
+		}
+		for i := 0; i < len(all); i++ {
+			for j := i + 1; j < len(all); j++ {
+				if all[j] < all[i] {
+					all[i], all[j] = all[j], all[i]
+				}
+			}
+		}
+		var want float64
+		for i := 0; i+1 < len(all); i++ {
+			want += (all[i+1] - all[i]) * oa.coverage(all[i]) * ob.coverage(all[i])
+		}
+		if got := IntegrateProduct(a, b); !almostEq(got, want) {
+			t.Fatalf("trial %d: IntegrateProduct = %v, want %v", trial, got, want)
+		}
+		// Symmetry.
+		if got, rev := IntegrateProduct(a, b), IntegrateProduct(b, a); !almostEq(got, rev) {
+			t.Fatalf("trial %d: product not symmetric: %v vs %v", trial, got, rev)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New()
+	d.Insert(0, 1, 1)
+	d.Insert(0.5, 2, 3)
+	d.Reset()
+	if d.Len() != 1 || d.SumSquares() != 0 {
+		t.Error("Reset did not restore pristine state")
+	}
+	d.Insert(1, 2, 1)
+	if !almostEq(d.SumSquares(), 1) {
+		t.Error("list unusable after Reset")
+	}
+}

@@ -1,0 +1,390 @@
+// Package synth generates synthetic indoor-mobility datasets that
+// substitute for the ATC shopping-center dataset used in the paper's
+// evaluation (Brscic et al. [4]), which is not redistributable here.
+//
+// The simulator models a normalized [0,1]² indoor space containing
+// attraction zones (product exhibits). Every user is assigned a
+// persona — a preference distribution over zones — and produces a few
+// sessions (store visits). Within a session the user walks between
+// zones at constant speed (sampled every Δt seconds, matching
+// Definition 3.1's regular tracking) and dwells inside each visited
+// zone with small anisotropic jitter. Dwell phases become the regions
+// of interest that Algorithm 1 extracts; transit phases are fast
+// enough never to qualify.
+//
+// Part presets A–D are calibrated so that, under the paper's
+// extraction parameters (ε=0.02, τ=30), the extracted footprints match
+// the shape of Table 1: average RoIs per user ≈16–20 and average RoI
+// extents ≈0.017–0.025. User counts reproduce the paper's 236K–377K at
+// scale 1.0 and shrink proportionally for laptop runs.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"geofootprint/internal/geom"
+	"geofootprint/internal/traj"
+)
+
+// Zone is one attraction area of the indoor space.
+type Zone struct {
+	Center geom.Point
+	// RX, RY are the dwell jitter semi-axes: while dwelling, the
+	// user's positions are drawn from the ellipse with these
+	// semi-axes around Center.
+	RX, RY float64
+}
+
+// Layout is the simulated indoor environment.
+type Layout struct {
+	Zones    []Zone
+	Entrance geom.Point
+
+	// nearest[z] lists all zone indices ordered by distance from
+	// zone z (z itself first). Users are anchored at a zone and
+	// visit/wander among its nearest zones.
+	nearest [][]int
+}
+
+// Nearest returns the zone indices ordered by distance from zone z,
+// starting with z itself.
+func (l *Layout) Nearest(z int) []int { return l.nearest[z] }
+
+// Config parameterises the generator. NewConfig and PartConfig provide
+// sensible defaults; zero values are rejected by Validate.
+type Config struct {
+	Name  string
+	Seed  int64
+	Users int
+	// Zones in the layout and personas (latent user groups, each
+	// preferring a compact patch of zones).
+	Zones    int
+	Personas int
+	// ZonesPerUser is how many of the persona's zones an individual
+	// user habitually visits. Small values keep each footprint
+	// spatially compact (small MBR), as individual shoppers in a
+	// large mall are — the regime of the paper's data.
+	ZonesPerUser int
+	// Sessions per user, inclusive range.
+	SessionsMin, SessionsMax int
+	// Zone visits per session, inclusive range.
+	VisitsMin, VisitsMax int
+	// Dwell length per visit in samples, inclusive range.
+	DwellMin, DwellMax int
+	// SampleInterval is Δt in seconds.
+	SampleInterval float64
+	// WalkSpeed in normalized units per second during transit.
+	WalkSpeed float64
+	// JitterRX, JitterRY are the dwell jitter semi-axes.
+	JitterRX, JitterRY float64
+	// PersonaAffinity is the probability that a visit targets a
+	// zone from the user's persona (the rest are uniform).
+	PersonaAffinity float64
+}
+
+// NewConfig returns the baseline configuration used by Part A, with
+// the given user count.
+func NewConfig(name string, users int, seed int64) Config {
+	return Config{
+		Name:  name,
+		Seed:  seed,
+		Users: users,
+
+		Zones:        54,
+		Personas:     9,
+		ZonesPerUser: 3,
+
+		SessionsMin: 2, SessionsMax: 4,
+		VisitsMin: 4, VisitsMax: 7,
+		DwellMin: 40, DwellMax: 120,
+
+		SampleInterval:  0.1,
+		WalkSpeed:       0.05,
+		JitterRX:        0.0097,
+		JitterRY:        0.0084,
+		PersonaAffinity: 0.9,
+	}
+}
+
+// PartConfig returns the preset reproducing the shape of the paper's
+// Part A, B, C or D (Table 1) scaled by scale (1.0 = the paper's full
+// user count). Unknown parts return an error.
+func PartConfig(part string, scale float64) (Config, error) {
+	if scale <= 0 {
+		return Config{}, fmt.Errorf("synth: scale must be positive, got %g", scale)
+	}
+	users := func(full int) int {
+		n := int(math.Round(float64(full) * scale))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	switch part {
+	case "A", "a":
+		return NewConfig("PartA", users(278000), 1001), nil
+	case "B", "b":
+		c := NewConfig("PartB", users(236000), 1002)
+		c.VisitsMin, c.VisitsMax = 5, 7 // avg 18 RoIs/user
+		return c, nil
+	case "C", "c":
+		c := NewConfig("PartC", users(317000), 1003)
+		c.VisitsMin, c.VisitsMax = 5, 8 // avg 20 RoIs/user
+		return c, nil
+	case "D", "d":
+		c := NewConfig("PartD", users(377000), 1004)
+		c.VisitsMin, c.VisitsMax = 4, 7
+		// Part D has the largest RoIs in Table 1. Note the paper
+		// reports x-extents above ε=0.02 there, which the strict
+		// pairwise-diameter reading of Definition 3.2 cannot
+		// produce (any two locations of a region are within ε, so
+		// no extent exceeds ε); we preserve the ordering — D's
+		// RoIs are the largest — at the maximum the definition
+		// allows. See EXPERIMENTS.md.
+		c.JitterRX, c.JitterRY = 0.00998, 0.0094
+		return c, nil
+	default:
+		return Config{}, fmt.Errorf("synth: unknown part %q (want A, B, C or D)", part)
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Users < 0:
+		return fmt.Errorf("synth: negative user count %d", c.Users)
+	case c.Zones < 1:
+		return fmt.Errorf("synth: need at least one zone")
+	case c.Personas < 1:
+		return fmt.Errorf("synth: need at least one persona")
+	case c.ZonesPerUser < 1:
+		return fmt.Errorf("synth: need at least one zone per user")
+	case c.SessionsMin < 1 || c.SessionsMax < c.SessionsMin:
+		return fmt.Errorf("synth: bad session range [%d,%d]", c.SessionsMin, c.SessionsMax)
+	case c.VisitsMin < 1 || c.VisitsMax < c.VisitsMin:
+		return fmt.Errorf("synth: bad visit range [%d,%d]", c.VisitsMin, c.VisitsMax)
+	case c.DwellMin < 1 || c.DwellMax < c.DwellMin:
+		return fmt.Errorf("synth: bad dwell range [%d,%d]", c.DwellMin, c.DwellMax)
+	case c.SampleInterval <= 0:
+		return fmt.Errorf("synth: non-positive sample interval")
+	case c.WalkSpeed <= 0:
+		return fmt.Errorf("synth: non-positive walk speed")
+	case c.JitterRX <= 0 || c.JitterRY <= 0:
+		return fmt.Errorf("synth: non-positive jitter")
+	case c.PersonaAffinity < 0 || c.PersonaAffinity > 1:
+		return fmt.Errorf("synth: persona affinity %g outside [0,1]", c.PersonaAffinity)
+	}
+	return nil
+}
+
+// Generate produces the dataset and the ground-truth persona of every
+// user (index-aligned with Dataset.Users). Generation is deterministic
+// in Config.Seed.
+func Generate(cfg Config) (*traj.Dataset, []int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	layoutRng := rand.New(rand.NewSource(cfg.Seed))
+	layout := NewLayout(layoutRng, cfg)
+	ps := makePersonas(layout, cfg)
+
+	d := &traj.Dataset{Name: cfg.Name, SampleInterval: cfg.SampleInterval}
+	d.Users = make([]traj.User, cfg.Users)
+	personas := make([]int, cfg.Users)
+	for u := 0; u < cfg.Users; u++ {
+		// A user-specific stream keeps generation deterministic
+		// regardless of iteration order.
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(u+1)*0x9E3779B97F4A7C15)))
+		p := rng.Intn(cfg.Personas)
+		personas[u] = p
+		// Each user anchors at one zone of the persona and
+		// habitually visits the nearest persona zones around it;
+		// occasional wandering reaches the zones nearest the anchor
+		// regardless of persona (cross-persona overlap near patch
+		// borders). This keeps every footprint spatially compact —
+		// small MBRs, as individual shoppers in a large mall are.
+		anchor := ps[p].pref[rng.Intn(len(ps[p].pref))]
+		userPref := make([]int, 0, cfg.ZonesPerUser)
+		for _, z := range layout.Nearest(anchor) {
+			if ps[p].inPref[z] {
+				userPref = append(userPref, z)
+				if len(userPref) == cfg.ZonesPerUser {
+					break
+				}
+			}
+		}
+		wanderN := 2 * cfg.ZonesPerUser
+		if wanderN > cfg.Zones {
+			wanderN = cfg.Zones
+		}
+		wander := layout.Nearest(anchor)[:wanderN]
+		d.Users[u] = traj.User{
+			ID:       u,
+			Sessions: genSessions(rng, cfg, layout, userPref, wander),
+		}
+	}
+	return d, personas, nil
+}
+
+// NewLayout places cfg.Zones zones on a jittered grid inside the unit
+// square, away from the walls.
+func NewLayout(rng *rand.Rand, cfg Config) *Layout {
+	cols := int(math.Ceil(math.Sqrt(float64(cfg.Zones))))
+	rows := (cfg.Zones + cols - 1) / cols
+	l := &Layout{Entrance: geom.Point{X: 0.5, Y: 0.02}}
+	margin := 0.06
+	for i := 0; i < cfg.Zones; i++ {
+		cx := margin + (float64(i%cols)+0.3+0.4*rng.Float64())*(1-2*margin)/float64(cols)
+		cy := margin + (float64(i/cols)+0.3+0.4*rng.Float64())*(1-2*margin)/float64(rows)
+		l.Zones = append(l.Zones, Zone{
+			Center: geom.Point{X: cx, Y: cy},
+			RX:     cfg.JitterRX,
+			RY:     cfg.JitterRY,
+		})
+	}
+	l.nearest = make([][]int, cfg.Zones)
+	for z := range l.nearest {
+		order := make([]int, cfg.Zones)
+		for i := range order {
+			order[i] = i
+		}
+		c := l.Zones[z].Center
+		sort.Slice(order, func(a, b int) bool {
+			return l.Zones[order[a]].Center.DistSq(c) < l.Zones[order[b]].Center.DistSq(c)
+		})
+		l.nearest[z] = order
+	}
+	return l
+}
+
+// persona holds one latent user group: its preferred zones (a compact
+// patch of the store) and a membership set for fast lookups.
+type persona struct {
+	pref   []int
+	inPref []bool
+}
+
+// makePersonas partitions the zones into spatially compact patches,
+// one per persona: the zone grid is tiled by a ~√P × √P patch grid and
+// each zone joins the patch it falls into. Compact patches matter
+// twice: footprints of same-persona users stay local (small MBRs), the
+// regime in which the paper's user-centric index shines, and the nine
+// clusters occupy distinct areas of the map as in Figure 3(b).
+// Off-persona wandering draws from the persona's spatial neighbourhood
+// (nearby zones) rather than the whole store, as real shoppers drift
+// into adjacent sections.
+func makePersonas(l *Layout, cfg Config) []persona {
+	ps := make([]persona, cfg.Personas)
+	cols := int(math.Ceil(math.Sqrt(float64(cfg.Zones))))
+	rows := (cfg.Zones + cols - 1) / cols
+	pCols := int(math.Ceil(math.Sqrt(float64(cfg.Personas))))
+	pRows := (cfg.Personas + pCols - 1) / pCols
+	for z := 0; z < cfg.Zones; z++ {
+		r, c := z/cols, z%cols
+		pr := r * pRows / rows
+		pc := c * pCols / cols
+		p := pr*pCols + pc
+		if p >= cfg.Personas {
+			p = cfg.Personas - 1
+		}
+		ps[p].pref = append(ps[p].pref, z)
+	}
+	for p := range ps {
+		if len(ps[p].pref) == 0 {
+			// More personas than zones: reuse a zone so every
+			// persona remains usable.
+			ps[p].pref = []int{p % cfg.Zones}
+		}
+		ps[p].inPref = make([]bool, cfg.Zones)
+		for _, z := range ps[p].pref {
+			ps[p].inPref[z] = true
+		}
+	}
+	return ps
+}
+
+// genSessions simulates all sessions of one user.
+func genSessions(rng *rand.Rand, cfg Config, l *Layout, userPref, neighbors []int) []traj.Trajectory {
+	nSessions := cfg.SessionsMin + rng.Intn(cfg.SessionsMax-cfg.SessionsMin+1)
+	sessions := make([]traj.Trajectory, 0, nSessions)
+	t := 0.0
+	for s := 0; s < nSessions; s++ {
+		tr, tEnd := genSession(rng, cfg, l, userPref, neighbors, t)
+		if len(tr) > 0 {
+			sessions = append(sessions, tr)
+		}
+		// Large gap until the next visit (next day).
+		t = tEnd + 3600 + rng.Float64()*86400
+	}
+	return sessions
+}
+
+// genSession simulates one store visit: enter, visit a few zones
+// (dwelling at each), leave. Returns the trajectory and its end time.
+func genSession(rng *rand.Rand, cfg Config, l *Layout, userPref, neighbors []int, t0 float64) (traj.Trajectory, float64) {
+	nVisits := cfg.VisitsMin + rng.Intn(cfg.VisitsMax-cfg.VisitsMin+1)
+	var tr traj.Trajectory
+	t := t0
+	// Sessions start near the user's habitual area rather than a
+	// global entrance: what matters downstream is the dwell pattern,
+	// and a shared entrance would only add transit samples.
+	pos := l.Zones[userPref[rng.Intn(len(userPref))]].Center
+	appendSample := func(q geom.Point) {
+		tr = append(tr, traj.Location{P: q, T: t})
+		t += cfg.SampleInterval
+	}
+	appendSample(pos)
+
+	last := -1
+	for v := 0; v < nVisits; v++ {
+		var zi int
+		// Prefer a different zone than the previous visit: two
+		// consecutive dwells at the same spot would merge into one
+		// RoI and silently shrink the footprint.
+		for attempt := 0; attempt < 4; attempt++ {
+			if rng.Float64() < cfg.PersonaAffinity {
+				zi = userPref[rng.Intn(len(userPref))]
+			} else {
+				// Wander into a nearby section of the store.
+				zi = neighbors[rng.Intn(len(neighbors))]
+			}
+			if zi != last {
+				break
+			}
+		}
+		last = zi
+		z := l.Zones[zi]
+
+		// Transit: straight walk to the zone center with mild
+		// lateral noise, one sample per Δt.
+		step := cfg.WalkSpeed * cfg.SampleInterval
+		for pos.Dist(z.Center) > step {
+			dx, dy := z.Center.X-pos.X, z.Center.Y-pos.Y
+			dist := math.Hypot(dx, dy)
+			pos = geom.Point{
+				X: pos.X + dx/dist*step + (rng.Float64()-0.5)*step*0.3,
+				Y: pos.Y + dy/dist*step + (rng.Float64()-0.5)*step*0.3,
+			}
+			appendSample(pos)
+		}
+
+		// Dwell: samples jittered inside the zone's ellipse.
+		dwell := cfg.DwellMin + rng.Intn(cfg.DwellMax-cfg.DwellMin+1)
+		for i := 0; i < dwell; i++ {
+			// Uniform in the ellipse via rejection from the box.
+			for {
+				x := (rng.Float64()*2 - 1)
+				y := (rng.Float64()*2 - 1)
+				if x*x+y*y <= 1 {
+					pos = geom.Point{X: z.Center.X + x*z.RX, Y: z.Center.Y + y*z.RY}
+					break
+				}
+			}
+			appendSample(pos)
+		}
+	}
+	return tr, t
+}

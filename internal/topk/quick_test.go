@@ -1,0 +1,61 @@
+package topk
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickCollector: for arbitrary offer sequences, the collector
+// holds exactly the k best results under the deterministic order.
+func TestQuickCollector(t *testing.T) {
+	type offer struct {
+		ID    int
+		Score float64
+	}
+	f := func(offers []offer, kRaw uint8) bool {
+		k := int(kRaw%20) + 1
+		c := New(k)
+		for _, o := range offers {
+			c.Offer(o.ID, o.Score)
+		}
+		got := c.Results()
+		// Model: stable sort of all offers, truncated.
+		all := make([]Result, len(offers))
+		for i, o := range offers {
+			all[i] = Result{ID: o.ID, Score: o.Score}
+		}
+		// Deterministic order: better() defines a strict weak order
+		// only when (ID, Score) pairs are unique; duplicate exact
+		// pairs make both orders valid, so compare multisets there.
+		sortResults(all)
+		if len(all) > k {
+			all = all[:k]
+		}
+		if len(got) != len(all) {
+			return false
+		}
+		return reflect.DeepEqual(countPairs(got), countPairs(all))
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortResults(rs []Result) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && better(rs[j], rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func countPairs(rs []Result) map[Result]int {
+	m := map[Result]int{}
+	for _, r := range rs {
+		m[r]++
+	}
+	return m
+}

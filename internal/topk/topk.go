@@ -1,0 +1,91 @@
+// Package topk provides a bounded top-k collector for similarity
+// scores with deterministic tie-breaking, shared by all the search
+// methods of Section 6 so their results are directly comparable.
+package topk
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Result is one ranked item: a user ID and its similarity score.
+type Result struct {
+	ID    int
+	Score float64
+}
+
+// better reports whether a outranks b: higher score first, ties broken
+// by smaller ID so that all search methods produce identical rankings.
+func better(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// Collector keeps the best k results offered to it. The zero value is
+// unusable; construct with New.
+type Collector struct {
+	k     int
+	items resultHeap
+}
+
+// New returns a collector retaining the best k results. k must be
+// positive.
+func New(k int) *Collector {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &Collector{k: k}
+}
+
+// Offer considers one result for inclusion.
+func (c *Collector) Offer(id int, score float64) {
+	r := Result{ID: id, Score: score}
+	if len(c.items) < c.k {
+		heap.Push(&c.items, r)
+		return
+	}
+	if better(r, c.items[0]) {
+		c.items[0] = r
+		heap.Fix(&c.items, 0)
+	}
+}
+
+// Threshold returns the score of the current k-th result, or -Inf when
+// fewer than k results have been offered. A candidate strictly below
+// the threshold cannot enter the collector.
+func (c *Collector) Threshold() float64 {
+	if len(c.items) < c.k {
+		return math.Inf(-1)
+	}
+	return c.items[0].Score
+}
+
+// Len returns the number of results currently held (≤ k).
+func (c *Collector) Len() int { return len(c.items) }
+
+// Results returns the collected results ranked best-first. The
+// collector remains usable afterwards.
+func (c *Collector) Results() []Result {
+	out := make([]Result, len(c.items))
+	copy(out, c.items)
+	sort.Slice(out, func(i, j int) bool { return better(out[i], out[j]) })
+	return out
+}
+
+// resultHeap is a min-heap whose root is the *worst* retained result.
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return better(h[j], h[i]) }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,94 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestCollectorBasics(t *testing.T) {
+	c := New(3)
+	if c.Threshold() != math.Inf(-1) {
+		t.Error("empty collector threshold should be -Inf")
+	}
+	c.Offer(1, 0.5)
+	c.Offer(2, 0.9)
+	c.Offer(3, 0.1)
+	c.Offer(4, 0.7)
+	got := c.Results()
+	want := []Result{{2, 0.9}, {4, 0.7}, {1, 0.5}}
+	if len(got) != 3 {
+		t.Fatalf("got %d results, want 3", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("result %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if c.Threshold() != 0.5 {
+		t.Errorf("Threshold = %v, want 0.5", c.Threshold())
+	}
+}
+
+func TestCollectorFewerThanK(t *testing.T) {
+	c := New(10)
+	c.Offer(5, 0.2)
+	c.Offer(1, 0.8)
+	got := c.Results()
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 5 {
+		t.Errorf("Results = %v", got)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCollectorTieBreaking(t *testing.T) {
+	// Equal scores: smaller ID wins, deterministically.
+	c := New(2)
+	c.Offer(9, 0.5)
+	c.Offer(3, 0.5)
+	c.Offer(7, 0.5)
+	got := c.Results()
+	if got[0].ID != 3 || got[1].ID != 7 {
+		t.Errorf("tie-broken results = %v, want IDs 3, 7", got)
+	}
+}
+
+func TestCollectorPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New(0)
+}
+
+func TestCollectorMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(20)
+		n := rng.Intn(200)
+		c := New(k)
+		all := make([]Result, 0, n)
+		for i := 0; i < n; i++ {
+			r := Result{ID: i, Score: float64(rng.Intn(50)) / 50} // ties likely
+			c.Offer(r.ID, r.Score)
+			all = append(all, r)
+		}
+		sort.Slice(all, func(i, j int) bool { return better(all[i], all[j]) })
+		if len(all) > k {
+			all = all[:k]
+		}
+		got := c.Results()
+		if len(got) != len(all) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(all))
+		}
+		for i := range all {
+			if got[i] != all[i] {
+				t.Fatalf("trial %d: result %d = %v, want %v", trial, i, got[i], all[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package traj
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadAuto(t *testing.T) {
+	d := sampleDataset()
+	dir := t.TempDir()
+
+	gobPath := filepath.Join(dir, "ds.gob")
+	if err := SaveGob(gobPath, d); err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, "ds.bin")
+	fb, _ := os.Create(binPath)
+	if err := WriteBinary(fb, d); err != nil {
+		t.Fatal(err)
+	}
+	fb.Close()
+	txtPath := filepath.Join(dir, "ds.csv")
+	ft, _ := os.Create(txtPath)
+	if err := WriteText(ft, d); err != nil {
+		t.Fatal(err)
+	}
+	ft.Close()
+
+	for _, path := range []string{gobPath, binPath, txtPath} {
+		got, err := LoadAuto(path)
+		if err != nil {
+			t.Fatalf("LoadAuto(%s): %v", path, err)
+		}
+		if len(got.Users) != len(d.Users) || got.NumLocations() != d.NumLocations() {
+			t.Errorf("LoadAuto(%s): shape mismatch", path)
+		}
+	}
+	// Garbage fails cleanly.
+	bad := filepath.Join(dir, "bad")
+	os.WriteFile(bad, []byte("zzzz not a dataset"), 0o644)
+	if _, err := LoadAuto(bad); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadAuto(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Empty file fails cleanly.
+	empty := filepath.Join(dir, "empty")
+	os.WriteFile(empty, nil, 0o644)
+	if _, err := LoadAuto(empty); err == nil {
+		t.Error("empty file accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package traj
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// Format benchmarks: write/read cost of the three dataset encodings on
+// a realistic regularly sampled session.
+func benchDataset() *Dataset {
+	var s Trajectory
+	for i := 0; i < 20000; i++ {
+		s = append(s, Location{
+			P: pt(0.5+float64(i%100)*1e-4, 0.5-float64(i%50)*1e-4),
+			T: float64(i) * 0.1,
+		})
+	}
+	return &Dataset{Name: "bench", SampleInterval: 0.1,
+		Users: []User{{ID: 1, Sessions: []Trajectory{s}}}}
+}
+
+func BenchmarkWriteBinary(b *testing.B) {
+	d := benchDataset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteBinary(io.Discard, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteText(b *testing.B) {
+	d := benchDataset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteText(io.Discard, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadBinary(b *testing.B) {
+	d := benchDataset()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package traj
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the readers must never panic on malformed input, and
+// whatever they accept must re-encode losslessly enough to accept
+// again.
+
+func FuzzReadText(f *testing.F) {
+	f.Add("1,0,0.0,0.5,0.5\n")
+	f.Add("# dataset x dt=0.1\n2,1,3.5,0.25,0.75\n")
+	f.Add("")
+	f.Add("a,b,c,d,e\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, d); err != nil {
+			t.Fatalf("WriteText of accepted dataset failed: %v", err)
+		}
+		if _, err := ReadText(&buf); err != nil {
+			t.Fatalf("re-read of written dataset failed: %v", err)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	WriteBinary(&seed, sampleDataset())
+	f.Add(seed.Bytes())
+	f.Add([]byte("GFTB1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		d, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, d); err != nil {
+			t.Fatalf("WriteBinary of accepted dataset failed: %v", err)
+		}
+		if _, err := ReadBinary(&buf); err != nil {
+			t.Fatalf("re-read of written dataset failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,12 @@
+package traj
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// writeGobForTest encodes a dataset with gob into w, mirroring SaveGob
+// without touching the filesystem.
+func writeGobForTest(w io.Writer, d *Dataset) error {
+	return gob.NewEncoder(w).Encode(d)
+}

@@ -1,0 +1,62 @@
+package traj
+
+import (
+	"geofootprint/internal/geom"
+)
+
+// Preprocessing utilities for raw tracking exports: sensors like the
+// ATC range sensors report at 20-30 Hz with occasional dropped frames;
+// extraction wants a modest, regular Δt (Definition 3.1).
+
+// Downsample returns every factor-th sample of the trajectory (factor
+// >= 1), keeping the first sample. The result shares no storage with
+// the input.
+func Downsample(t Trajectory, factor int) Trajectory {
+	if factor <= 1 {
+		out := make(Trajectory, len(t))
+		copy(out, t)
+		return out
+	}
+	out := make(Trajectory, 0, (len(t)+factor-1)/factor)
+	for i := 0; i < len(t); i += factor {
+		out = append(out, t[i])
+	}
+	return out
+}
+
+// Regularize resamples the trajectory onto a fixed Δt lattice starting
+// at the first sample's timestamp, linearly interpolating positions.
+// Gaps longer than maxGap seconds are not interpolated across — the
+// output simply continues after the gap, re-anchored on the next real
+// sample — so dwell regions are never hallucinated inside an outage.
+// The result satisfies Validate(dt, tol) for any tol > 0 within each
+// contiguous stretch.
+func Regularize(t Trajectory, dt, maxGap float64) Trajectory {
+	if len(t) == 0 || dt <= 0 {
+		return nil
+	}
+	out := make(Trajectory, 0, len(t))
+	out = append(out, t[0])
+	next := t[0].T + dt
+	for i := 1; i < len(t); i++ {
+		prev, cur := t[i-1], t[i]
+		if cur.T-prev.T > maxGap {
+			// Outage: re-anchor after the gap.
+			out = append(out, cur)
+			next = cur.T + dt
+			continue
+		}
+		for next <= cur.T {
+			f := (next - prev.T) / (cur.T - prev.T)
+			out = append(out, Location{
+				P: geom.Point{
+					X: prev.P.X + f*(cur.P.X-prev.P.X),
+					Y: prev.P.Y + f*(cur.P.Y-prev.P.Y),
+				},
+				T: next,
+			})
+			next += dt
+		}
+	}
+	return out
+}

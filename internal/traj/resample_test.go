@@ -1,0 +1,86 @@
+package traj
+
+import (
+	"math"
+	"testing"
+
+	"geofootprint/internal/geom"
+)
+
+func TestDownsample(t *testing.T) {
+	tr := mkTraj(0, 1, pt(0, 0), pt(1, 0), pt(2, 0), pt(3, 0), pt(4, 0))
+	got := Downsample(tr, 2)
+	if len(got) != 3 || got[0].T != 0 || got[1].T != 2 || got[2].T != 4 {
+		t.Errorf("Downsample(2) = %+v", got)
+	}
+	// factor 1 copies.
+	same := Downsample(tr, 1)
+	if len(same) != len(tr) {
+		t.Errorf("factor 1 length %d", len(same))
+	}
+	same[0].P.X = 99
+	if tr[0].P.X == 99 {
+		t.Error("Downsample shares storage with input")
+	}
+	if got := Downsample(nil, 3); len(got) != 0 {
+		t.Errorf("nil input = %v", got)
+	}
+}
+
+func TestRegularize(t *testing.T) {
+	// Irregular samples at t = 0, 0.35, 0.6, 1.3 moving along x.
+	tr := Trajectory{
+		{P: geom.Point{X: 0, Y: 0}, T: 0},
+		{P: geom.Point{X: 0.35, Y: 0}, T: 0.35},
+		{P: geom.Point{X: 0.6, Y: 0}, T: 0.6},
+		{P: geom.Point{X: 1.3, Y: 0}, T: 1.3},
+	}
+	got := Regularize(tr, 0.25, 10)
+	// Lattice: 0, 0.25, 0.5, 0.75, 1.0, 1.25 — positions equal the
+	// timestamps because speed is 1 along x.
+	if len(got) != 6 {
+		t.Fatalf("got %d samples: %+v", len(got), got)
+	}
+	for i, l := range got {
+		want := 0.25 * float64(i)
+		if math.Abs(l.T-want) > 1e-12 || math.Abs(l.P.X-want) > 1e-9 {
+			t.Errorf("sample %d = %+v, want t=x=%v", i, l, want)
+		}
+	}
+	if err := got.Validate(0.25, 1e-9); err != nil {
+		t.Errorf("regularized trajectory invalid: %v", err)
+	}
+}
+
+func TestRegularizeGap(t *testing.T) {
+	tr := Trajectory{
+		{P: geom.Point{X: 0, Y: 0}, T: 0},
+		{P: geom.Point{X: 0.1, Y: 0}, T: 0.1},
+		{P: geom.Point{X: 5, Y: 5}, T: 100}, // outage
+		{P: geom.Point{X: 5.1, Y: 5}, T: 100.1},
+	}
+	got := Regularize(tr, 0.1, 1)
+	// No interpolated samples inside (0.1, 100).
+	for _, l := range got {
+		if l.T > 0.2 && l.T < 99.9 {
+			t.Fatalf("hallucinated sample inside outage: %+v", l)
+		}
+	}
+	// Both stretches survive.
+	if got[0].T != 0 || got[len(got)-1].T < 100 {
+		t.Errorf("stretches lost: %+v", got)
+	}
+}
+
+func TestRegularizeDegenerate(t *testing.T) {
+	if got := Regularize(nil, 0.1, 1); got != nil {
+		t.Errorf("nil input = %v", got)
+	}
+	if got := Regularize(Trajectory{{T: 5}}, 0, 1); got != nil {
+		t.Errorf("dt=0 = %v", got)
+	}
+	one := Regularize(Trajectory{{T: 5}}, 0.1, 1)
+	if len(one) != 1 || one[0].T != 5 {
+		t.Errorf("single sample = %+v", one)
+	}
+}

@@ -1,0 +1,89 @@
+package traj
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"geofootprint/internal/geom"
+)
+
+// DatasetStats summarises a trajectory dataset: the numbers an analyst
+// checks before extraction (and the shape of the paper's Table 1
+// inputs).
+type DatasetStats struct {
+	Users     int
+	Sessions  int
+	Locations int
+
+	SessionsPerUserMin, SessionsPerUserMax int
+	SessionsPerUserAvg                     float64
+
+	SamplesPerSessionMin, SamplesPerSessionMax int
+	SamplesPerSessionAvg                       float64
+
+	SessionDurationAvg float64 // seconds
+	Extent             geom.Rect
+}
+
+// Stats computes dataset statistics in one pass.
+func Stats(d *Dataset) DatasetStats {
+	s := DatasetStats{
+		Users:                len(d.Users),
+		SessionsPerUserMin:   math.MaxInt,
+		SamplesPerSessionMin: math.MaxInt,
+		Extent:               geom.EmptyRect(),
+	}
+	var totalDuration float64
+	for i := range d.Users {
+		u := &d.Users[i]
+		ns := len(u.Sessions)
+		s.Sessions += ns
+		if ns < s.SessionsPerUserMin {
+			s.SessionsPerUserMin = ns
+		}
+		if ns > s.SessionsPerUserMax {
+			s.SessionsPerUserMax = ns
+		}
+		for _, sess := range u.Sessions {
+			n := len(sess)
+			s.Locations += n
+			if n < s.SamplesPerSessionMin {
+				s.SamplesPerSessionMin = n
+			}
+			if n > s.SamplesPerSessionMax {
+				s.SamplesPerSessionMax = n
+			}
+			totalDuration += sess.Duration()
+			s.Extent = s.Extent.Extend(sess.MBR())
+		}
+	}
+	if s.Users > 0 {
+		s.SessionsPerUserAvg = float64(s.Sessions) / float64(s.Users)
+	} else {
+		s.SessionsPerUserMin = 0
+	}
+	if s.Sessions > 0 {
+		s.SamplesPerSessionAvg = float64(s.Locations) / float64(s.Sessions)
+		s.SessionDurationAvg = totalDuration / float64(s.Sessions)
+	} else {
+		s.SamplesPerSessionMin = 0
+	}
+	return s
+}
+
+// String renders the statistics as a small report.
+func (s DatasetStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "users: %d, sessions: %d, locations: %d\n",
+		s.Users, s.Sessions, s.Locations)
+	fmt.Fprintf(&b, "sessions/user: min %d avg %.1f max %d\n",
+		s.SessionsPerUserMin, s.SessionsPerUserAvg, s.SessionsPerUserMax)
+	fmt.Fprintf(&b, "samples/session: min %d avg %.0f max %d (avg duration %.1fs)\n",
+		s.SamplesPerSessionMin, s.SamplesPerSessionAvg, s.SamplesPerSessionMax,
+		s.SessionDurationAvg)
+	if !s.Extent.IsEmpty() {
+		fmt.Fprintf(&b, "spatial extent: %v", s.Extent)
+	}
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package traj
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStats(t *testing.T) {
+	d := sampleDataset()
+	s := Stats(d)
+	if s.Users != 2 || s.Sessions != 3 || s.Locations != 7 {
+		t.Errorf("counts: %+v", s)
+	}
+	if s.SessionsPerUserMin != 1 || s.SessionsPerUserMax != 2 {
+		t.Errorf("sessions/user: %+v", s)
+	}
+	if s.SamplesPerSessionMin != 2 || s.SamplesPerSessionMax != 3 {
+		t.Errorf("samples/session: %+v", s)
+	}
+	if s.SessionsPerUserAvg != 1.5 {
+		t.Errorf("avg sessions = %v", s.SessionsPerUserAvg)
+	}
+	if s.Extent.IsEmpty() {
+		t.Error("empty extent")
+	}
+	out := s.String()
+	for _, want := range []string{"users: 2", "sessions: 3", "locations: 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := Stats(&Dataset{})
+	if s.Users != 0 || s.SessionsPerUserMin != 0 || s.SamplesPerSessionMin != 0 {
+		t.Errorf("empty stats: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty report")
+	}
+}

@@ -1,0 +1,38 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"geofootprint/internal/core"
+)
+
+func TestHeatmapSVG(t *testing.T) {
+	fps := []core.Footprint{
+		{{Rect: rect(0.1, 0.1, 0.2, 0.2), Weight: 1}},
+		{{Rect: rect(0.1, 0.1, 0.2, 0.2), Weight: 3}},
+		{{Rect: rect(0.8, 0.8, 0.9, 0.9), Weight: 1}},
+	}
+	var buf bytes.Buffer
+	if err := HeatmapSVG(&buf, fps, 10, 300, 300); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatal("not an SVG")
+	}
+	// Hot and cold cells both render (≥ 2 density rects + background).
+	if n := strings.Count(out, "<rect"); n < 3 {
+		t.Errorf("only %d rects", n)
+	}
+	// Bad grid.
+	if err := HeatmapSVG(&buf, fps, 0, 100, 100); err == nil {
+		t.Error("gridN=0 accepted")
+	}
+	// Empty input renders an empty map.
+	buf.Reset()
+	if err := HeatmapSVG(&buf, nil, 8, 100, 100); err != nil {
+		t.Fatalf("empty input: %v", err)
+	}
+}

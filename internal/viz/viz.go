@@ -1,0 +1,257 @@
+// Package viz renders geo-footprint structures as SVG: trajectories
+// with their extracted regions of interest (the paper's Figure 1),
+// footprints with their disjoint-region frequencies (Figure 2), and
+// per-cluster characteristic-region maps (Figure 3(b)). It uses only
+// the standard library; output is a self-contained SVG document.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+	"geofootprint/internal/traj"
+)
+
+// Palette is the default categorical palette (nine clusters, as in
+// Figure 3(b), plus extras).
+var Palette = []string{
+	"#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+	"#ff8ab7", "#a463f2", "#97bbf5", "#9c6b4e", "#9498a0",
+	"#bcbd22", "#17becf",
+}
+
+// Canvas accumulates SVG elements over a world rectangle mapped to a
+// pixel viewport (y flipped so larger y draws upward, as in the
+// paper's figures).
+type Canvas struct {
+	world  geom.Rect
+	w, h   float64
+	b      strings.Builder
+	margin float64
+}
+
+// NewCanvas creates a canvas of the given pixel size showing the world
+// rectangle. The world must have positive area.
+func NewCanvas(world geom.Rect, widthPx, heightPx int) (*Canvas, error) {
+	if world.IsEmpty() || world.Area() == 0 {
+		return nil, fmt.Errorf("viz: world must have positive area, got %v", world)
+	}
+	if widthPx < 1 || heightPx < 1 {
+		return nil, fmt.Errorf("viz: viewport must be positive, got %dx%d", widthPx, heightPx)
+	}
+	c := &Canvas{world: world, w: float64(widthPx), h: float64(heightPx), margin: 8}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		widthPx, heightPx, widthPx, heightPx)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", widthPx, heightPx)
+	return c, nil
+}
+
+// px maps a world point to pixel coordinates.
+func (c *Canvas) px(p geom.Point) (x, y float64) {
+	sx := (c.w - 2*c.margin) / c.world.Width()
+	sy := (c.h - 2*c.margin) / c.world.Height()
+	x = c.margin + (p.X-c.world.MinX)*sx
+	y = c.h - c.margin - (p.Y-c.world.MinY)*sy
+	return
+}
+
+// Rect draws a rectangle with the given fill (may be "none"), stroke
+// colour and fill opacity.
+func (c *Canvas) Rect(r geom.Rect, fill, stroke string, opacity float64) {
+	x0, y1 := c.px(geom.Point{X: r.MinX, Y: r.MinY})
+	x1, y0 := c.px(geom.Point{X: r.MaxX, Y: r.MaxY})
+	fmt.Fprintf(&c.b,
+		`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="%.2f" stroke="%s" stroke-width="1"/>`+"\n",
+		x0, y0, x1-x0, y1-y0, fill, opacity, stroke)
+}
+
+// Polyline draws a trajectory as a connected line.
+func (c *Canvas) Polyline(t traj.Trajectory, stroke string) {
+	if len(t) == 0 {
+		return
+	}
+	var pts []string
+	for _, l := range t {
+		x, y := c.px(l.P)
+		pts = append(pts, fmt.Sprintf("%.2f,%.2f", x, y))
+	}
+	fmt.Fprintf(&c.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1"/>`+"\n",
+		strings.Join(pts, " "), stroke)
+}
+
+// Dot draws a small filled circle at a world point.
+func (c *Canvas) Dot(p geom.Point, fill string, radiusPx float64) {
+	x, y := c.px(p)
+	fmt.Fprintf(&c.b, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`+"\n", x, y, radiusPx, fill)
+}
+
+// Text places a label at a world point.
+func (c *Canvas) Text(p geom.Point, s string, sizePx int) {
+	x, y := c.px(p)
+	fmt.Fprintf(&c.b, `<text x="%.2f" y="%.2f" font-size="%d" font-family="sans-serif">%s</text>`+"\n",
+		x, y, sizePx, escape(s))
+}
+
+// Render finalises the document and writes it.
+func (c *Canvas) Render(w io.Writer) error {
+	_, err := io.WriteString(w, c.b.String()+"</svg>\n")
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// FootprintSVG renders a footprint's regions (outlines) over its
+// disjoint-region decomposition (fills shaded by frequency) — the
+// content of the paper's Figure 2(a).
+func FootprintSVG(w io.Writer, f core.Footprint, widthPx, heightPx int) error {
+	world := f.MBR()
+	if world.IsEmpty() {
+		world = geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	}
+	// Pad by 5% so strokes are not clipped.
+	pad := 0.05 * (world.Width() + world.Height()) / 2
+	world = geom.Rect{MinX: world.MinX - pad, MinY: world.MinY - pad,
+		MaxX: world.MaxX + pad, MaxY: world.MaxY + pad}
+	c, err := NewCanvas(world, widthPx, heightPx)
+	if err != nil {
+		return err
+	}
+	drs := core.DisjointRegions(f)
+	var maxW float64
+	for _, d := range drs {
+		if d.Weight > maxW {
+			maxW = d.Weight
+		}
+	}
+	for _, d := range drs {
+		op := 0.15 + 0.75*d.Weight/maxW
+		c.Rect(d.Rect, Palette[0], "none", op)
+	}
+	for _, r := range f {
+		c.Rect(r.Rect, "none", "#333333", 1)
+	}
+	return c.Render(w)
+}
+
+// TrajectorySVG renders a trajectory with its extracted RoI rectangles
+// — the content of the paper's Figure 1(a).
+func TrajectorySVG(w io.Writer, t traj.Trajectory, rois []geom.Rect, widthPx, heightPx int) error {
+	world := t.MBR()
+	for _, r := range rois {
+		world = world.Extend(r)
+	}
+	if world.IsEmpty() {
+		world = geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	}
+	pad := 0.05 * (world.Width() + world.Height()) / 2
+	if pad == 0 {
+		pad = 0.01
+	}
+	world = geom.Rect{MinX: world.MinX - pad, MinY: world.MinY - pad,
+		MaxX: world.MaxX + pad, MaxY: world.MaxY + pad}
+	c, err := NewCanvas(world, widthPx, heightPx)
+	if err != nil {
+		return err
+	}
+	c.Polyline(t, "#9498a0")
+	for i, r := range rois {
+		c.Rect(r, Palette[(i+2)%len(Palette)], "#333333", 0.35)
+	}
+	if len(t) > 0 {
+		c.Dot(t[0].P, "#3ca951", 3)
+		c.Dot(t[len(t)-1].P, "#ff725c", 3)
+	}
+	return c.Render(w)
+}
+
+// HeatmapSVG renders the aggregate dwell density of a footprint
+// collection: the unit square divided into gridN×gridN cells, each
+// shaded by the total weighted area of footprint regions overlapping
+// it. This is the "where does everybody dwell" view an analyst opens
+// first.
+func HeatmapSVG(w io.Writer, fps []core.Footprint, gridN, widthPx, heightPx int) error {
+	if gridN < 1 {
+		return fmt.Errorf("viz: gridN must be positive, got %d", gridN)
+	}
+	c, err := NewCanvas(geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, widthPx, heightPx)
+	if err != nil {
+		return err
+	}
+	cell := 1.0 / float64(gridN)
+	density := make([]float64, gridN*gridN)
+	var maxD float64
+	for _, f := range fps {
+		for _, r := range f {
+			x0 := clampIdx(int(r.Rect.MinX/cell), gridN)
+			x1 := clampIdx(int(r.Rect.MaxX/cell), gridN)
+			y0 := clampIdx(int(r.Rect.MinY/cell), gridN)
+			y1 := clampIdx(int(r.Rect.MaxY/cell), gridN)
+			for gy := y0; gy <= y1; gy++ {
+				for gx := x0; gx <= x1; gx++ {
+					cr := geom.Rect{
+						MinX: float64(gx) * cell, MinY: float64(gy) * cell,
+						MaxX: float64(gx+1) * cell, MaxY: float64(gy+1) * cell,
+					}
+					d := r.Rect.IntersectionArea(cr) * r.Weight
+					density[gy*gridN+gx] += d
+					if density[gy*gridN+gx] > maxD {
+						maxD = density[gy*gridN+gx]
+					}
+				}
+			}
+		}
+	}
+	if maxD > 0 {
+		for gy := 0; gy < gridN; gy++ {
+			for gx := 0; gx < gridN; gx++ {
+				d := density[gy*gridN+gx]
+				if d == 0 {
+					continue
+				}
+				c.Rect(geom.Rect{
+					MinX: float64(gx) * cell, MinY: float64(gy) * cell,
+					MaxX: float64(gx+1) * cell, MaxY: float64(gy+1) * cell,
+				}, Palette[2], "none", 0.1+0.9*d/maxD)
+			}
+		}
+	}
+	return c.Render(w)
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// ClustersSVG renders per-cluster characteristic regions over the unit
+// square — the content of the paper's Figure 3(b). regions[c] holds
+// cluster c's cells; each cluster gets one palette colour and a label.
+func ClustersSVG(w io.Writer, regions [][]geom.Rect, widthPx, heightPx int) error {
+	c, err := NewCanvas(geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, widthPx, heightPx)
+	if err != nil {
+		return err
+	}
+	for ci, rects := range regions {
+		colour := Palette[ci%len(Palette)]
+		m := geom.EmptyRect()
+		for _, r := range rects {
+			c.Rect(r, colour, "none", 0.8)
+			m = m.Extend(r)
+		}
+		if !m.IsEmpty() {
+			c.Text(m.Center(), fmt.Sprintf("%d", ci+1), 12)
+		}
+	}
+	return c.Render(w)
+}

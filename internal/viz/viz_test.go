@@ -1,0 +1,133 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+	"geofootprint/internal/traj"
+)
+
+func rect(x1, y1, x2, y2 float64) geom.Rect {
+	return geom.Rect{MinX: x1, MinY: y1, MaxX: x2, MaxY: y2}
+}
+
+func TestNewCanvasValidation(t *testing.T) {
+	if _, err := NewCanvas(geom.EmptyRect(), 100, 100); err == nil {
+		t.Error("empty world accepted")
+	}
+	if _, err := NewCanvas(rect(0, 0, 1, 1), 0, 100); err == nil {
+		t.Error("zero viewport accepted")
+	}
+	c, err := NewCanvas(rect(0, 0, 1, 1), 200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(out, "</svg>\n") {
+		t.Errorf("malformed document:\n%s", out)
+	}
+}
+
+func TestCoordinateMapping(t *testing.T) {
+	c, _ := NewCanvas(rect(0, 0, 1, 1), 116, 116) // margin 8 → 100px world
+	// World (0,0) is bottom-left: pixel (8, 108).
+	x, y := c.px(geom.Point{X: 0, Y: 0})
+	if x != 8 || y != 108 {
+		t.Errorf("px(0,0) = (%v,%v), want (8,108)", x, y)
+	}
+	// World (1,1) is top-right: pixel (108, 8).
+	x, y = c.px(geom.Point{X: 1, Y: 1})
+	if x != 108 || y != 8 {
+		t.Errorf("px(1,1) = (%v,%v), want (108,8)", x, y)
+	}
+}
+
+func TestFootprintSVG(t *testing.T) {
+	f := core.Footprint{
+		{Rect: rect(0.1, 0.1, 0.3, 0.3), Weight: 1},
+		{Rect: rect(0.2, 0.2, 0.4, 0.4), Weight: 2},
+	}
+	var buf bytes.Buffer
+	if err := FootprintSVG(&buf, f, 300, 300); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Disjoint decomposition of two overlapping rects: 3+ fills plus
+	// 2 outlines.
+	if n := strings.Count(out, "<rect"); n < 6 { // 1 bg + ≥3 fills + 2 outlines
+		t.Errorf("only %d rects rendered:\n%s", n, out)
+	}
+	if !strings.Contains(out, `stroke="#333333"`) {
+		t.Error("region outlines missing")
+	}
+	// Empty footprint still renders a valid document.
+	buf.Reset()
+	if err := FootprintSVG(&buf, nil, 100, 100); err != nil {
+		t.Fatalf("empty footprint: %v", err)
+	}
+}
+
+func TestTrajectorySVG(t *testing.T) {
+	tr := traj.Trajectory{
+		{P: geom.Point{X: 0.1, Y: 0.1}, T: 0},
+		{P: geom.Point{X: 0.2, Y: 0.15}, T: 1},
+		{P: geom.Point{X: 0.25, Y: 0.3}, T: 2},
+	}
+	rois := []geom.Rect{rect(0.08, 0.08, 0.13, 0.13)}
+	var buf bytes.Buffer
+	if err := TrajectorySVG(&buf, tr, rois, 300, 300); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<polyline") {
+		t.Error("trajectory line missing")
+	}
+	if strings.Count(out, "<circle") != 2 {
+		t.Error("start/end markers missing")
+	}
+	// Degenerate single-point trajectory.
+	buf.Reset()
+	if err := TrajectorySVG(&buf, tr[:1], nil, 100, 100); err != nil {
+		t.Fatalf("single point: %v", err)
+	}
+}
+
+func TestClustersSVG(t *testing.T) {
+	regions := [][]geom.Rect{
+		{rect(0, 0, 0.1, 0.1), rect(0.1, 0, 0.2, 0.1)},
+		{rect(0.8, 0.8, 0.9, 0.9)},
+		nil, // cluster with no characteristic cells
+	}
+	var buf bytes.Buffer
+	if err := ClustersSVG(&buf, regions, 400, 400); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "<rect") != 1+3 { // background + 3 cells
+		t.Errorf("unexpected rect count:\n%s", out)
+	}
+	// Labels for the two non-empty clusters only.
+	if strings.Count(out, "<text") != 2 {
+		t.Errorf("expected 2 labels, got:\n%s", out)
+	}
+	if !strings.Contains(out, ">1</text>") || !strings.Contains(out, ">2</text>") {
+		t.Error("cluster labels wrong")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c, _ := NewCanvas(rect(0, 0, 1, 1), 100, 100)
+	c.Text(geom.Point{X: 0.5, Y: 0.5}, "<&>", 10)
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "&lt;&amp;&gt;") {
+		t.Error("text not escaped")
+	}
+}
