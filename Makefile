@@ -1,0 +1,24 @@
+# Developer entry points. `make check` is the gate every PR must pass:
+# vet + build + race detector over the concurrent packages + the full
+# test suite (the tier-1 command plus the race pass).
+
+GO ?= go
+
+.PHONY: check test race bench-fig3a clean
+
+check:
+	./scripts/check.sh
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/engine/... ./internal/search/... ./internal/server/...
+
+# Regenerate the committed BENCH_fig3a.json evidence (serial vs
+# parallel batched top-k at geobench scale 0.05).
+bench-fig3a:
+	$(GO) run ./cmd/geobench -exp fig3a -scale 0.05 -parallel -json .
+
+clean:
+	$(GO) clean ./...

@@ -55,6 +55,10 @@ func main() {
 	clusters := flag.Int("clusters", 9, "clusters for fig3b (paper: 9)")
 	workers := flag.Int("workers", 0, "parallel workers for preprocessing (0 = all CPUs)")
 	seed := flag.Int64("seed", 7, "random seed for query sampling")
+	parallel := flag.Bool("parallel", false,
+		"also run the fig3a workload through the parallel query engine (serial vs parallel, identical results verified)")
+	jsonDir := flag.String("json", ".",
+		"directory for machine-readable BENCH_<exp>.json reports (empty = disabled)")
 	flag.Parse()
 
 	parts := strings.Split(*partsFlag, ",")
@@ -63,6 +67,20 @@ func main() {
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	// emit writes the machine-readable companion of a text table.
+	emit := func(name string, rows interface{}) {
+		if *jsonDir == "" {
+			return
+		}
+		path, err := bench.WriteReport(*jsonDir, bench.Report{
+			Experiment: name, Scale: *scale, Workers: *workers, Rows: rows,
+		})
+		if err != nil {
+			log.Fatalf("writing %s report: %v", name, err)
+		}
+		fmt.Printf("(wrote %s)\n\n", path)
+	}
 
 	fmt.Printf("geobench: scale=%.3g parts=%s (paper hardware: i9-10900K, g++ -O3; absolute times differ)\n\n",
 		*scale, strings.Join(parts, ","))
@@ -112,13 +130,16 @@ func main() {
 		fmt.Println("== Table 3: avg similarity computation cost (µs) ==")
 		fmt.Printf("%-5s %12s %12s %10s   (paper: alg3/alg4 µs)\n",
 			"part", "Alg3 (µs)", "Alg4 (µs)", "speedup")
+		var rows []bench.Table3Row
 		for _, p := range parts {
 			r := bench.Table3(get(p), *queries, *seed)
+			rows = append(rows, r)
 			fmt.Printf("%-5s %12.2f %12.2f %9.1fx   (%.2f / %.2f)\n",
 				r.Part, r.Alg3Micros, r.Alg4Micros, r.SpeedupAlg4,
 				paperTable3Alg3[p], paperTable3Alg4[p])
 		}
 		fmt.Println()
+		emit("table3", rows)
 	}
 
 	if want("table4") {
@@ -140,14 +161,39 @@ func main() {
 		fmt.Printf("== Figure 3(a): total runtime of %d top-%d queries (s) ==\n", *fig3aQueries, *k)
 		fmt.Printf("%-5s %14s %14s %14s   (paper shape: user-centric < batch < iterative)\n",
 			"part", "iterative", "batch", "user-centric")
+		var rows []bench.Fig3aRow
 		for _, p := range parts {
 			r := bench.Fig3a(get(p), *fig3aQueries, *k, *seed)
+			rows = append(rows, r)
 			fmt.Printf("%-5s %14s %14s %14s\n",
 				r.Part, bench.FormatSeconds(r.IterativeSeconds),
 				bench.FormatSeconds(r.BatchSeconds),
 				bench.FormatSeconds(r.UserCentricSeconds))
 		}
 		fmt.Println()
+		if *parallel {
+			fmt.Printf("== Figure 3(a) parallel: serial vs query-engine batch (s) ==\n")
+			fmt.Printf("%-5s %22s %22s %22s %10s %10s\n",
+				"part", "iterative ser/par", "batch ser/par", "user-centric ser/par", "speedup", "identical")
+			var prows []bench.Fig3aParallelRow
+			for _, p := range parts {
+				r := bench.Fig3aParallel(get(p), *fig3aQueries, *k, *workers, *seed)
+				prows = append(prows, r)
+				fmt.Printf("%-5s %10s/%10s %10s/%10s %10s/%10s %9.2fx %10v\n",
+					r.Part,
+					bench.FormatSeconds(r.SerialIterativeSeconds), bench.FormatSeconds(r.ParallelIterativeSeconds),
+					bench.FormatSeconds(r.SerialBatchSeconds), bench.FormatSeconds(r.ParallelBatchSeconds),
+					bench.FormatSeconds(r.SerialUserCentricSeconds), bench.FormatSeconds(r.ParallelUserCentricSeconds),
+					r.SpeedupUserCentric(), r.Identical)
+				if !r.Identical {
+					log.Fatalf("part %s: parallel results diverged from serial", p)
+				}
+			}
+			fmt.Println()
+			emit("fig3a", map[string]interface{}{"serial": rows, "parallel": prows})
+		} else {
+			emit("fig3a", rows)
+		}
 	}
 
 	if want("fig3b") {

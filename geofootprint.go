@@ -31,6 +31,7 @@ import (
 
 	"geofootprint/internal/cluster"
 	"geofootprint/internal/core"
+	"geofootprint/internal/engine"
 	"geofootprint/internal/extract"
 	"geofootprint/internal/geom"
 	"geofootprint/internal/search"
@@ -178,6 +179,42 @@ func NewRoIIndex(db *FootprintDB) *RoIIndex {
 // bulk loading.
 func NewUserCentricIndex(db *FootprintDB) *UserCentricIndex {
 	return search.NewUserCentricIndex(db, search.BuildSTR, 0)
+}
+
+// Parallel query execution (internal/engine).
+type (
+	// QueryEngine executes top-k similarity queries in parallel:
+	// batches across a worker pool, and candidate refinement sharded
+	// within a query, with results byte-identical to the serial
+	// search paths.
+	QueryEngine = engine.QueryEngine
+	// EngineOptions configures a QueryEngine (workers, method,
+	// prebuilt indexes).
+	EngineOptions = engine.Options
+	// EngineMethod selects which Section 6 search path the engine
+	// executes.
+	EngineMethod = engine.Method
+)
+
+// EngineMethod values.
+const (
+	// EngineUserCentric refines R-tree candidates with Algorithm 4
+	// (the default and fastest method).
+	EngineUserCentric = engine.MethodUserCentric
+	// EngineLinear is the index-free parallel scan.
+	EngineLinear = engine.MethodLinear
+	// EngineIterative is the Section 6.1.1 search, parallel across
+	// queries.
+	EngineIterative = engine.MethodIterative
+	// EngineBatch is the Section 6.1.2 search, parallel across
+	// queries.
+	EngineBatch = engine.MethodBatch
+)
+
+// NewQueryEngine builds a parallel query engine over db; the zero
+// Options select the user-centric method on GOMAXPROCS workers.
+func NewQueryEngine(db *FootprintDB, opts EngineOptions) *QueryEngine {
+	return engine.New(db, opts)
 }
 
 // MostSimilarUsers is the recommender-system entry point (Section 1):

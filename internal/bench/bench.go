@@ -134,12 +134,12 @@ func Table2(w *Workload) Table2Row {
 // Table3Row reproduces one column of Table 3: average similarity
 // computation cost in microseconds, Algorithm 3 vs Algorithm 4.
 type Table3Row struct {
-	Part        string
-	Queries     int
-	Pairs       int
-	Alg3Micros  float64
-	Alg4Micros  float64
-	SpeedupAlg4 float64
+	Part        string  `json:"part"`
+	Queries     int     `json:"queries"`
+	Pairs       int     `json:"pairs"`
+	Alg3Micros  float64 `json:"alg3_micros"`
+	Alg4Micros  float64 `json:"alg4_micros"`
+	SpeedupAlg4 float64 `json:"speedup_alg4"`
 }
 
 // Table3 picks `queries` random user footprints and computes their
@@ -216,12 +216,12 @@ func Table4(w *Workload) Table4Row {
 // Fig3aRow reproduces one group of Figure 3(a): total runtime of
 // top-K similarity queries under the three search methods.
 type Fig3aRow struct {
-	Part               string
-	Queries            int
-	K                  int
-	IterativeSeconds   float64
-	BatchSeconds       float64
-	UserCentricSeconds float64
+	Part               string  `json:"part"`
+	Queries            int     `json:"queries"`
+	K                  int     `json:"k"`
+	IterativeSeconds   float64 `json:"iterative_seconds"`
+	BatchSeconds       float64 `json:"batch_seconds"`
+	UserCentricSeconds float64 `json:"user_centric_seconds"`
 }
 
 // Fig3a runs `queries` random top-K queries (query users sampled from

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFig3aParallel(t *testing.T) {
+	w := tinyWorkload(t)
+	r := Fig3aParallel(w, 20, 5, 4, 7)
+	if r.Part != "A" || r.Queries != 20 || r.K != 5 || r.Workers != 4 {
+		t.Errorf("row header = %+v", r)
+	}
+	if !r.Identical {
+		t.Fatal("parallel results diverged from serial")
+	}
+	for name, s := range map[string]float64{
+		"serial iterative":      r.SerialIterativeSeconds,
+		"parallel iterative":    r.ParallelIterativeSeconds,
+		"serial batch":          r.SerialBatchSeconds,
+		"parallel batch":        r.ParallelBatchSeconds,
+		"serial user-centric":   r.SerialUserCentricSeconds,
+		"parallel user-centric": r.ParallelUserCentricSeconds,
+	} {
+		if s < 0 {
+			t.Errorf("%s = %v, want >= 0", name, s)
+		}
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteReport(dir, Report{Experiment: "fig3a", Scale: 0.05, Rows: []int{1, 2}})
+	if err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	if filepath.Base(path) != "BENCH_fig3a.json" {
+		t.Errorf("path = %q", path)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading report: %v", err)
+	}
+	var got Report
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if got.Experiment != "fig3a" || got.Scale != 0.05 {
+		t.Errorf("round-trip = %+v", got)
+	}
+	if got.Cores <= 0 || got.GoMaxProcs <= 0 {
+		t.Errorf("cores/gomaxprocs not populated: %+v", got)
+	}
+}

@@ -2,7 +2,8 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"geofootprint/internal/geom"
 	"geofootprint/internal/sweep"
@@ -20,14 +21,49 @@ type event struct {
 // sortEvents orders events by coordinate; on ties, Start events come
 // first so that a degenerate (zero-width) region is inserted before it
 // is removed. Tie order between different regions is immaterial: the
-// stripe between equal coordinates has zero width.
+// stripe between equal coordinates has zero width. slices.SortFunc
+// (rather than sort.Slice) keeps the sort allocation-free.
 func sortEvents(evs []event) {
-	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].v != evs[j].v {
-			return evs[i].v < evs[j].v
+	slices.SortFunc(evs, func(a, b event) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		case a.start == b.start:
+			return 0
+		case a.start:
+			return -1
+		default:
+			return 1
 		}
-		return evs[i].start && !evs[j].start
 	})
+}
+
+// eventPool recycles the sweep-event buffers of Algorithms 2 and 3.
+// The buffers are pooled behind a pointer wrapper so that Put does not
+// allocate a fresh slice header box per release.
+var eventPool = sync.Pool{New: func() interface{} { return new(eventBuf) }}
+
+type eventBuf struct{ evs []event }
+
+// acquireEvents returns an empty event buffer with capacity for at
+// least n events; steady-state acquisition allocates nothing.
+func acquireEvents(n int) *eventBuf {
+	b := eventPool.Get().(*eventBuf)
+	if cap(b.evs) < n {
+		b.evs = make([]event, 0, n)
+	} else {
+		b.evs = b.evs[:0]
+	}
+	return b
+}
+
+// releaseEvents returns a buffer (with its final slice, so grown
+// capacity is retained) to the pool.
+func releaseEvents(b *eventBuf, evs []event) {
+	b.evs = evs[:0]
+	eventPool.Put(b)
 }
 
 func footprintEvents(f Footprint, src int8, evs []event) []event {
@@ -55,9 +91,10 @@ func NormSquared(f Footprint) float64 {
 	if len(f) == 0 {
 		return 0
 	}
-	evs := footprintEvents(f, 0, make([]event, 0, 2*len(f)))
+	buf := acquireEvents(2 * len(f))
+	evs := footprintEvents(f, 0, buf.evs)
 	sortEvents(evs)
-	d := sweep.New()
+	d := sweep.Acquire()
 	var ssq float64
 	prev := evs[0].v
 	for _, e := range evs {
@@ -74,6 +111,8 @@ func NormSquared(f Footprint) float64 {
 			d.Remove(r.Rect.MinY, r.Rect.MaxY, r.Weight)
 		}
 	}
+	sweep.Release(d)
+	releaseEvents(buf, evs)
 	return ssq
 }
 
@@ -106,9 +145,14 @@ func DisjointRegions(f Footprint) []WeightedRect {
 	if len(f) == 0 {
 		return nil
 	}
-	evs := footprintEvents(f, 0, make([]event, 0, 2*len(f)))
+	buf := acquireEvents(2 * len(f))
+	evs := footprintEvents(f, 0, buf.evs)
 	sortEvents(evs)
-	d := sweep.New()
+	d := sweep.Acquire()
+	defer func() {
+		sweep.Release(d)
+		releaseEvents(buf, evs)
+	}()
 
 	type ykey struct {
 		lo, hi, w float64

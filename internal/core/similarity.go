@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"geofootprint/internal/sweep"
 )
@@ -77,21 +77,44 @@ func SimilarityJoin(fr, fs Footprint, normR, normS float64) float64 {
 // Region order carries no meaning (a footprint is a set), and sorted
 // order lets SimilarityJoin skip its per-call sort.
 func SortByMinX(f Footprint) {
-	sort.Slice(f, func(i, j int) bool { return f[i].Rect.MinX < f[j].Rect.MinX })
+	slices.SortFunc(f, func(a, b Region) int {
+		switch {
+		case a.Rect.MinX < b.Rect.MinX:
+			return -1
+		case a.Rect.MinX > b.Rect.MinX:
+			return 1
+		default:
+			return 0
+		}
+	})
 }
 
-// ensureSorted returns f if already ordered by MinX (an O(n) check),
-// or a sorted copy otherwise, leaving the caller's footprint intact.
-func ensureSorted(f Footprint) Footprint {
+// IsSortedByMinX reports whether the footprint is ordered by Rect.MinX
+// — the invariant store.FootprintDB maintains at ingest so that the
+// similarity kernels never copy or re-sort on the hot path.
+func IsSortedByMinX(f Footprint) bool {
 	for i := 1; i < len(f); i++ {
 		if f[i].Rect.MinX < f[i-1].Rect.MinX {
-			g := make(Footprint, len(f))
-			copy(g, f)
-			SortByMinX(g)
-			return g
+			return false
 		}
 	}
-	return f
+	return true
+}
+
+// ensureSorted is the sorted-input fast path of SimilarityJoin: an
+// O(n) allocation-free check that returns f unchanged when it is
+// already ordered by MinX — which every footprint coming out of
+// FromRoIs or store.FootprintDB is — and only for externally built,
+// unsorted footprints falls back to a sorted copy (leaving the
+// caller's slice intact).
+func ensureSorted(f Footprint) Footprint {
+	if IsSortedByMinX(f) {
+		return f
+	}
+	g := make(Footprint, len(f))
+	copy(g, f)
+	SortByMinX(g)
+	return g
 }
 
 // Numerator returns the un-normalised numerator of Equation 1 — the
@@ -112,11 +135,12 @@ func sweepNumerator(fr, fs Footprint, withNorms bool) (simn, ssqR, ssqS float64)
 	if len(fr) == 0 && len(fs) == 0 {
 		return 0, 0, 0
 	}
-	evs := footprintEvents(fr, 0, make([]event, 0, 2*(len(fr)+len(fs))))
+	buf := acquireEvents(2 * (len(fr) + len(fs)))
+	evs := footprintEvents(fr, 0, buf.evs)
 	evs = footprintEvents(fs, 1, evs)
 	sortEvents(evs)
 
-	dr, ds := sweep.New(), sweep.New()
+	dr, ds := sweep.Acquire(), sweep.Acquire()
 	prev := evs[0].v
 	for _, e := range evs {
 		if e.v > prev {
@@ -141,6 +165,9 @@ func sweepNumerator(fr, fs Footprint, withNorms bool) (simn, ssqR, ssqS float64)
 			d.Remove(r.Rect.MinY, r.Rect.MaxY, r.Weight)
 		}
 	}
+	sweep.Release(dr)
+	sweep.Release(ds)
+	releaseEvents(buf, evs)
 	return simn, ssqR, ssqS
 }
 

@@ -1,0 +1,347 @@
+// Package engine is the parallel query-execution layer over a
+// FootprintDB and the Section 6 search indexes: the piece that turns
+// the paper's single-query algorithms into a service that can sustain
+// top-k similarity traffic from many concurrent clients.
+//
+// It parallelises on three axes:
+//
+//   - Across queries — TopKBatch distributes a batch over a worker
+//     pool (the pattern of internal/extract/parallel.go); each query
+//     runs the serial search path of the configured method, so batch
+//     results are byte-identical to one-at-a-time execution.
+//   - Within a query — TopK shards the refinement work (every
+//     candidate's join-based Algorithm 4 computation) across workers,
+//     each holding its own bounded top-k heap; the per-worker heaps
+//     are merged deterministically under the global (score desc,
+//     ID asc) total order, so the parallel result equals the serial
+//     one bit for bit.
+//   - Preprocessing — PrecomputeNorms recomputes every norm and MBR
+//     on a work-queue of users, which load-balances the skewed
+//     footprint sizes better than static chunking.
+//
+// Determinism under parallel merge: a topk.Collector's retained set is
+// a function of the *multiset* of offers, not of their order, because
+// retention follows the strict total order (higher score first, ties
+// by smaller user ID). Each candidate's similarity is computed by
+// exactly one worker with the same kernel the serial path uses, so
+// sharding changes neither any score bit nor the merged ranking.
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+	"geofootprint/internal/search"
+	"geofootprint/internal/store"
+	"geofootprint/internal/topk"
+)
+
+// Method selects which Section 6 search path the engine executes.
+type Method int
+
+const (
+	// MethodUserCentric refines R-tree candidates with Algorithm 4
+	// (Section 6.2) — the paper's fastest method, and the one whose
+	// refinement step TopK parallelises.
+	MethodUserCentric Method = iota
+	// MethodLinear is the index-free baseline; TopK shards the full
+	// user range across workers.
+	MethodLinear
+	// MethodIterative is the Section 6.1.1 search. Its per-user
+	// accumulator sums floating-point contributions in traversal
+	// order, so a within-query split would perturb result bits; the
+	// engine therefore parallelises it across queries only.
+	MethodIterative
+	// MethodBatch is the Section 6.1.2 search; parallel across
+	// queries only, for the same reason as MethodIterative.
+	MethodBatch
+)
+
+// minShard is the smallest number of refinement candidates worth
+// handing to an extra worker; below it, goroutine handoff costs more
+// than the Algorithm 4 joins it would offload.
+const minShard = 32
+
+// Options configures a QueryEngine.
+type Options struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Method is the search path to execute (default MethodUserCentric).
+	Method Method
+	// UserCentric optionally supplies a prebuilt Section 6.2 index;
+	// when nil and Method needs one, New bulk-loads it (STR).
+	UserCentric *search.UserCentricIndex
+	// RoI optionally supplies a prebuilt Section 6.1 index; when nil
+	// and Method needs one, New bulk-loads it (STR).
+	RoI *search.RoIIndex
+}
+
+// QueryEngine executes top-k similarity queries over a FootprintDB in
+// parallel. It is safe for concurrent use as long as the underlying
+// database and indexes are not mutated concurrently (the server
+// serialises mutations behind its write lock, as before).
+type QueryEngine struct {
+	db      *store.FootprintDB
+	uc      *search.UserCentricIndex
+	roi     *search.RoIIndex
+	workers int
+	method  Method
+}
+
+// New builds an engine over db, constructing whichever index the
+// selected method needs unless one is supplied.
+func New(db *store.FootprintDB, opts Options) *QueryEngine {
+	e := &QueryEngine{
+		db:      db,
+		uc:      opts.UserCentric,
+		roi:     opts.RoI,
+		workers: opts.Workers,
+		method:  opts.Method,
+	}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	switch e.method {
+	case MethodUserCentric:
+		if e.uc == nil {
+			e.uc = search.NewUserCentricIndex(db, search.BuildSTR, 0)
+		}
+	case MethodIterative, MethodBatch:
+		if e.roi == nil {
+			e.roi = search.NewRoIIndex(db, search.BuildSTR, 0)
+		}
+	}
+	return e
+}
+
+// Workers returns the engine's worker-pool size.
+func (e *QueryEngine) Workers() int { return e.workers }
+
+// Method returns the search path the engine executes.
+func (e *QueryEngine) Method() Method { return e.method }
+
+// DB returns the wrapped database.
+func (e *QueryEngine) DB() *store.FootprintDB { return e.db }
+
+// TopK answers a single top-k query, parallelising the refinement
+// step when the method decomposes (user-centric, linear) and enough
+// candidates justify the fan-out. Results are identical — including
+// every score bit and tie-break — to the serial search paths.
+func (e *QueryEngine) TopK(q core.Footprint, k int) []search.Result {
+	if k <= 0 {
+		return nil
+	}
+	switch e.method {
+	case MethodLinear:
+		qnorm := core.Norm(q)
+		if qnorm == 0 {
+			return nil
+		}
+		return e.refineRange(len(e.db.Footprints), q, k, qnorm)
+	case MethodIterative:
+		return e.roi.TopKIterative(q, k)
+	case MethodBatch:
+		return e.roi.TopKBatch(q, k)
+	default:
+		qnorm := core.Norm(q)
+		if qnorm == 0 {
+			return nil
+		}
+		cands := e.uc.Candidates(q.MBR(), nil)
+		return e.refineCandidates(cands, q, k, qnorm)
+	}
+}
+
+// serialTopK runs the configured method's serial path — the oracle the
+// parallel paths must match, and the per-query unit of TopKBatch.
+func (e *QueryEngine) serialTopK(q core.Footprint, k int) []search.Result {
+	switch e.method {
+	case MethodLinear:
+		return search.NewLinearScan(e.db).TopK(q, k)
+	case MethodIterative:
+		return e.roi.TopKIterative(q, k)
+	case MethodBatch:
+		return e.roi.TopKBatch(q, k)
+	default:
+		return e.uc.TopK(q, k)
+	}
+}
+
+// TopKBatch answers a batch of queries across the worker pool, one
+// merged result set per query, in input order. Each query executes the
+// serial path of the configured method on a single worker, so the
+// output is byte-identical to calling TopK serially per query — for
+// all four methods.
+func (e *QueryEngine) TopKBatch(queries []core.Footprint, k int) [][]search.Result {
+	out := make([][]search.Result, len(queries))
+	workers := e.workers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			out[i] = e.serialTopK(q, k)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = e.serialTopK(queries[i], k)
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// refineCandidates shards the candidate list of a user-centric query
+// across workers, each refining its shard with Algorithm 4 into its
+// own bounded heap, and merges the heaps deterministically.
+func (e *QueryEngine) refineCandidates(cands []int, q core.Footprint, k int, qnorm float64) []search.Result {
+	workers := e.shardWorkers(len(cands))
+	if workers <= 1 {
+		col := topk.New(k)
+		for _, u := range cands {
+			e.offerUser(col, u, q, qnorm)
+		}
+		return col.Results()
+	}
+	parts := e.runShards(workers, len(cands), k, func(col *topk.Collector, i int) {
+		e.offerUser(col, cands[i], q, qnorm)
+	})
+	return mergeParts(parts, k)
+}
+
+// refineRange is refineCandidates over the dense user range [0, n) —
+// the parallel linear scan.
+func (e *QueryEngine) refineRange(n int, q core.Footprint, k int, qnorm float64) []search.Result {
+	workers := e.shardWorkers(n)
+	if workers <= 1 {
+		col := topk.New(k)
+		for u := 0; u < n; u++ {
+			e.offerUser(col, u, q, qnorm)
+		}
+		return col.Results()
+	}
+	parts := e.runShards(workers, n, k, func(col *topk.Collector, u int) {
+		e.offerUser(col, u, q, qnorm)
+	})
+	return mergeParts(parts, k)
+}
+
+// offerUser refines one candidate with Algorithm 4 and offers the
+// score — exactly what the serial user-centric and linear paths do.
+func (e *QueryEngine) offerUser(col *topk.Collector, u int, q core.Footprint, qnorm float64) {
+	sim := core.SimilarityJoin(e.db.Footprints[u], q, e.db.Norms[u], qnorm)
+	if sim > 0 {
+		col.Offer(e.db.IDs[u], sim)
+	}
+}
+
+// shardWorkers sizes the within-query fan-out: at most one worker per
+// minShard candidates, capped by the pool size.
+func (e *QueryEngine) shardWorkers(n int) int {
+	w := e.workers
+	if byWork := n / minShard; byWork < w {
+		w = byWork
+	}
+	return w
+}
+
+// runShards splits [0, n) into `workers` contiguous shards, runs
+// `visit` over each shard on its own goroutine into a per-worker
+// collector, and returns the collectors.
+func (e *QueryEngine) runShards(workers, n, k int, visit func(col *topk.Collector, i int)) []*topk.Collector {
+	parts := make([]*topk.Collector, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			parts[w] = topk.New(k)
+			continue
+		}
+		wg.Add(1)
+		parts[w] = topk.New(k)
+		go func(col *topk.Collector, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				visit(col, i)
+			}
+		}(parts[w], lo, hi)
+	}
+	wg.Wait()
+	return parts
+}
+
+// mergeParts merges per-worker bounded heaps into the final top-k.
+// The merge is deterministic regardless of worker scheduling: the
+// collector's retained set depends only on the multiset of offers
+// (strict total order on score desc, user ID asc), and every partial
+// heap retains every result that can appear in the global top k.
+func mergeParts(parts []*topk.Collector, k int) []search.Result {
+	col := topk.New(k)
+	for _, p := range parts {
+		for _, r := range p.Results() {
+			col.Offer(r.ID, r.Score)
+		}
+	}
+	return col.Results()
+}
+
+// PrecomputeNorms recomputes every user's norm (Algorithm 2) and MBR
+// on the engine's worker pool using a work queue, which load-balances
+// skewed footprint sizes better than the static chunking of
+// store.ComputeNorms. Use after bulk mutations, before serving.
+func (e *QueryEngine) PrecomputeNorms() {
+	db := e.db
+	n := len(db.Footprints)
+	if len(db.Norms) != n {
+		db.Norms = make([]float64, n)
+	}
+	if len(db.MBRs) != n {
+		db.MBRs = make([]geom.Rect, n)
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, f := range db.Footprints {
+			db.Norms[i] = core.Norm(f)
+			db.MBRs[i] = f.MBR()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				db.Norms[i] = core.Norm(db.Footprints[i])
+				db.MBRs[i] = db.Footprints[i].MBR()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -288,6 +288,18 @@ func NewUserCentricIndex(db *store.FootprintDB, mode BuildMode, maxEntries int) 
 // Tree exposes the underlying R-tree (for stats and tests).
 func (ix *UserCentricIndex) Tree() *rtree.Tree { return ix.tree }
 
+// Candidates runs the filter step of the Section 6.2 search alone: the
+// dense indexes of every user whose footprint MBR intersects qmbr, in
+// R-tree traversal order, appended to buf. The engine package shards
+// the returned list across workers for parallel refinement.
+func (ix *UserCentricIndex) Candidates(qmbr geom.Rect, buf []int) []int {
+	ix.tree.Search(qmbr, func(e rtree.Entry) bool {
+		buf = append(buf, int(e.Data))
+		return true
+	})
+	return buf
+}
+
 // TopK implements Searcher.
 func (ix *UserCentricIndex) TopK(q core.Footprint, k int) []Result {
 	qnorm := core.Norm(q)

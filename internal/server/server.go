@@ -27,25 +27,32 @@ import (
 
 	"geofootprint/internal/classify"
 	"geofootprint/internal/core"
+	"geofootprint/internal/engine"
 	"geofootprint/internal/geom"
 	"geofootprint/internal/search"
 	"geofootprint/internal/store"
 )
 
 // Server wraps a FootprintDB with a user-centric index behind HTTP.
+// Top-k requests execute on the parallel query engine, which shards
+// candidate refinement across workers while returning results
+// byte-identical to the serial search path.
 type Server struct {
 	mu  sync.RWMutex
 	db  *store.FootprintDB
 	idx *search.UserCentricIndex
+	eng *engine.QueryEngine
 	cls *classify.Classifier // nil until SetLabels
 	mux *http.ServeMux
 }
 
 // New builds a server over db, indexing it immediately.
 func New(db *store.FootprintDB) *Server {
+	idx := search.NewUserCentricIndex(db, search.BuildSTR, 0)
 	s := &Server{
 		db:  db,
-		idx: search.NewUserCentricIndex(db, search.BuildSTR, 0),
+		idx: idx,
+		eng: engine.New(db, engine.Options{UserCentric: idx}),
 		mux: http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -194,7 +201,7 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	if excludeSelf {
 		want++
 	}
-	res := s.idx.TopK(s.db.Footprints[i], want)
+	res := s.eng.TopK(s.db.Footprints[i], want)
 	out := make([]resultJSON, 0, k)
 	for _, rr := range res {
 		if excludeSelf && rr.ID == id {
@@ -245,7 +252,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	res := s.idx.TopK(f, q.K)
+	res := s.eng.TopK(f, q.K)
 	s.mu.RUnlock()
 	out := make([]resultJSON, len(res))
 	for i, rr := range res {

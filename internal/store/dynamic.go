@@ -21,9 +21,13 @@ import (
 
 // Upsert inserts or replaces the footprint of the user with the given
 // external ID, recomputing its norm (Algorithm 2) and MBR, and returns
-// the user's dense index. The footprint is stored as given; pass a
-// copy if the caller retains it.
+// the user's dense index. The footprint is stored as given and sorted
+// by Rect.MinX in place (the database invariant); pass a copy if the
+// caller retains it.
 func (db *FootprintDB) Upsert(id int, f core.Footprint) int {
+	if !core.IsSortedByMinX(f) {
+		core.SortByMinX(f)
+	}
 	i, ok := db.IndexOf(id)
 	if !ok {
 		i = len(db.IDs)

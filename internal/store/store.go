@@ -23,6 +23,12 @@ import (
 // its MBR (the key of the user-centric index of Section 6.2). The
 // parallel slices are indexed by a dense user index; IDs maps back to
 // external user identifiers.
+//
+// Invariant: every stored footprint is sorted by Rect.MinX. All ingest
+// paths (Build, FromFootprints, Load, Upsert, AppendRoIs) establish it,
+// so the join-based Algorithm 4 — the kernel of every search method —
+// takes its allocation-free sorted fast path on every call instead of
+// copying and re-sorting.
 type FootprintDB struct {
 	Name       string
 	IDs        []int
@@ -57,10 +63,17 @@ func Build(d *traj.Dataset, cfg extract.Config, w core.Weighting, workers int) (
 }
 
 // FromFootprints builds a database from already-materialised
-// footprints, precomputing norms and MBRs.
+// footprints, precomputing norms and MBRs. The footprints are stored
+// as given and sorted by Rect.MinX in place (region order carries no
+// meaning); pass copies if the caller depends on its ordering.
 func FromFootprints(name string, ids []int, fps []core.Footprint) (*FootprintDB, error) {
 	if len(ids) != len(fps) {
 		return nil, fmt.Errorf("store: %d ids for %d footprints", len(ids), len(fps))
+	}
+	for _, f := range fps {
+		if !core.IsSortedByMinX(f) {
+			core.SortByMinX(f)
+		}
 	}
 	db := &FootprintDB{Name: name, IDs: ids, Footprints: fps}
 	db.ComputeNorms(0)
@@ -176,6 +189,14 @@ func Load(path string) (*FootprintDB, error) {
 		Norms: w.Norms, MBRs: w.MBRs}
 	if len(db.Norms) != len(db.IDs) || len(db.Footprints) != len(db.IDs) {
 		return nil, fmt.Errorf("store: %s: inconsistent lengths", path)
+	}
+	// Databases saved before the sorted-footprint invariant existed may
+	// hold unsorted footprints; restoring it here is an O(n) check per
+	// footprint for modern files.
+	for _, f := range db.Footprints {
+		if !core.IsSortedByMinX(f) {
+			core.SortByMinX(f)
+		}
 	}
 	return db, nil
 }

@@ -1,0 +1,45 @@
+package sweep
+
+import "testing"
+
+// TestInsertRemoveAllocationFree is the allocation-regression guard
+// for the coverage list: once the entry slice has grown to its working
+// capacity, Insert/Remove cycles must allocate nothing. The similarity
+// kernels run millions of these per second; a reintroduced per-call
+// allocation would dominate the service profile.
+func TestInsertRemoveAllocationFree(t *testing.T) {
+	d := New()
+	ops := func() {
+		for i := 0; i < 8; i++ {
+			d.Insert(float64(i), float64(i+2), 1)
+		}
+		for i := 0; i < 8; i++ {
+			d.Remove(float64(i), float64(i+2), 1)
+		}
+	}
+	ops() // grow the entry slice to working capacity
+	if avg := testing.AllocsPerRun(100, ops); avg != 0 {
+		t.Fatalf("Insert/Remove cycle allocates %v times per run, want 0", avg)
+	}
+}
+
+// TestAcquireReleaseAllocationFree guards the pool itself: a steady
+// Acquire/Release cycle must not allocate fresh lists.
+func TestAcquireReleaseAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; counts unstable")
+	}
+	// Warm the pool with a list whose slice has capacity.
+	d := Acquire()
+	d.Insert(0, 10, 1)
+	Release(d)
+	avg := testing.AllocsPerRun(100, func() {
+		l := Acquire()
+		l.Insert(0, 10, 1)
+		l.Remove(0, 10, 1)
+		Release(l)
+	})
+	if avg != 0 {
+		t.Fatalf("Acquire/Release cycle allocates %v times per run, want 0", avg)
+	}
+}

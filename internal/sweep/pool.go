@@ -1,0 +1,26 @@
+package sweep
+
+import "sync"
+
+// The similarity kernels (Algorithms 2-4) build and tear down a
+// CoverageList per call. At service rates — millions of similarity
+// computations per second across a worker pool — those per-call
+// allocations dominate the profile, so the package keeps a pool of
+// lists whose entry slices retain their grown capacity.
+
+var pool = sync.Pool{New: func() interface{} { return New() }}
+
+// Acquire returns an empty CoverageList from the package pool. The
+// list is reset; its entry slice keeps the capacity it grew to in
+// earlier uses, so steady-state acquisition allocates nothing.
+func Acquire() *CoverageList {
+	d := pool.Get().(*CoverageList)
+	d.Reset()
+	return d
+}
+
+// Release returns a list obtained from Acquire to the pool. The caller
+// must not use the list afterwards.
+func Release(d *CoverageList) {
+	pool.Put(d)
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Repo-wide static + concurrency checks. `make check` runs this.
+#
+# The race pass covers the packages that execute or consume parallel
+# code paths: the query engine, the search layer it shards, and the
+# HTTP server that serves concurrent requests through it.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test -race (engine, search, server, store, sweep, core) =="
+go test -race ./internal/engine/... ./internal/search/... ./internal/server/... \
+	./internal/store/... ./internal/sweep/... ./internal/core/...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "check: all passes clean"
