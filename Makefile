@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check test race bench-fig3a clean
+.PHONY: check test race bench-fig3a bench-sketch benchdiff clean
 
 check:
 	./scripts/check.sh
@@ -19,6 +19,17 @@ race:
 # parallel batched top-k at geobench scale 0.05).
 bench-fig3a:
 	$(GO) run ./cmd/geobench -exp fig3a -scale 0.05 -parallel -json .
+
+# Regenerate the committed BENCH_sketch.json evidence (sketch
+# filter-and-refine resolution sweep vs linear/user-centric/pruned).
+bench-sketch:
+	$(GO) run ./cmd/geobench -exp sketch -scale 0.05 -json .
+
+# Compare two BENCH_<exp>.json reports; fails on >15% wall-clock
+# regression of any method. Usage:
+#   make benchdiff OLD=old/BENCH_fig3a.json NEW=BENCH_fig3a.json
+benchdiff:
+	./scripts/benchdiff.sh $(OLD) $(NEW)
 
 clean:
 	$(GO) clean ./...

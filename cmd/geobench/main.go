@@ -45,7 +45,7 @@ func main() {
 	log.SetPrefix("geobench: ")
 
 	exp := flag.String("exp", "all",
-		"experiment: table1, table2, table3, table4, fig3a, fig3b, mbr-sensitivity, tuning, weighted, grid, cluster-methods, scale-sweep, k-sensitivity or all")
+		"experiment: table1, table2, table3, table4, fig3a, fig3b, sketch, mbr-sensitivity, tuning, weighted, grid, cluster-methods, scale-sweep, k-sensitivity or all")
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's user counts (1.0 = full size)")
 	partsFlag := flag.String("parts", "A,B,C,D", "comma-separated parts to run")
 	queries := flag.Int("queries", 50, "query users for table3 (paper: 200)")
@@ -74,7 +74,8 @@ func main() {
 			return
 		}
 		path, err := bench.WriteReport(*jsonDir, bench.Report{
-			Experiment: name, Scale: *scale, Workers: *workers, Rows: rows,
+			Experiment: name, Scale: *scale, Workers: *workers,
+			Parallel: *parallel, Rows: rows,
 		})
 		if err != nil {
 			log.Fatalf("writing %s report: %v", name, err)
@@ -194,6 +195,32 @@ func main() {
 		} else {
 			emit("fig3a", rows)
 		}
+	}
+
+	if want("sketch") {
+		fmt.Printf("== Sketch filter-and-refine: resolution sweep, %d top-%d queries ==\n", *fig3aQueries, *k)
+		var reps []bench.SketchReport
+		for _, p := range parts {
+			rep := bench.SketchSweep(get(p), []int{16, 32, 64, 128}, *fig3aQueries, *k, *workers, *seed)
+			reps = append(reps, rep)
+			fmt.Printf("part %s baselines (s): linear %s, user-centric %s, pruned %s\n",
+				rep.Part, bench.FormatSeconds(rep.LinearSeconds),
+				bench.FormatSeconds(rep.UserCentricSeconds),
+				bench.FormatSeconds(rep.PrunedSeconds))
+			fmt.Printf("%-6s %12s %12s %12s %12s %12s %10s %10s\n",
+				"G", "build (s)", "sketch (s)", "avg cand", "avg scored", "avg refined", "refine%", "identical")
+			for _, r := range rep.Rows {
+				fmt.Printf("%-6d %12s %12s %12.1f %12.1f %12.1f %9.1f%% %10v\n",
+					r.G, bench.FormatSeconds(r.BuildSeconds), bench.FormatSeconds(r.SketchSeconds),
+					r.AvgCandidates, r.AvgScored, r.AvgRefined,
+					100*r.RefinementRate, r.Identical)
+				if !r.Identical {
+					log.Fatalf("part %s G=%d: sketch results diverged from linear scan", p, r.G)
+				}
+			}
+			fmt.Println()
+		}
+		emit("sketch", reps)
 	}
 
 	if want("fig3b") {

@@ -33,7 +33,7 @@ func main() {
 		"ad-hoc query footprint: semicolon-separated rectangles 'x1,y1,x2,y2[,weight]'")
 	k := flag.Int("k", 5, "number of results")
 	method := flag.String("method", "user-centric",
-		"search method: linear, iterative, batch or user-centric")
+		"search method: linear, iterative, batch, user-centric or sketch")
 	excludeSelf := flag.Bool("exclude-self", false, "omit the query user from the results")
 	explain := flag.Bool("explain", false,
 		"show the top contributing region pairs for every result")
@@ -85,6 +85,13 @@ func main() {
 		topK = search.NewRoIIndex(db, search.BuildSTR, 0).TopKBatch
 	case "user-centric":
 		topK = search.NewUserCentricIndex(db, search.BuildSTR, 0).TopK
+	case "sketch":
+		// Reuse sketches persisted in the database; build them here
+		// (counted as index time) when the file predates the layer.
+		if !db.SketchesEnabled() {
+			db.EnableSketches(0, 0)
+		}
+		topK = search.NewUserCentricIndex(db, search.BuildSTR, 0).TopKSketch
 	default:
 		log.Fatalf("unknown method %q", *method)
 	}

@@ -306,6 +306,10 @@ func MBRSensitivity(w *Workload, spreads []float64, queries, k int, seed int64) 
 					Weight: 1,
 				}
 			}
+			// Sort once at construction: unsorted queries would push
+			// every downstream SimilarityJoin onto its copy+sort
+			// fallback — once per candidate, per query.
+			core.SortByMinX(f)
 			qs[i] = f
 		}
 		row := MBRSensitivityRow{Spread: spread}

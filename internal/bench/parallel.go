@@ -106,21 +106,30 @@ func Fig3aParallel(w *Workload, queries, k, workers int, seed int64) Fig3aParall
 
 // Report is the machine-readable envelope geobench writes next to its
 // text tables, one BENCH_<experiment>.json per experiment, so the
-// repo's performance trajectory can be tracked across commits.
+// repo's performance trajectory can be tracked across commits. The
+// environment fields (go_version, num_cpu, gomaxprocs, parallel) make
+// a report comparable across machines and settings: a wall-clock
+// regression means nothing without them.
 type Report struct {
 	Experiment string      `json:"experiment"`
 	Scale      float64     `json:"scale"`
 	Workers    int         `json:"workers"`
-	Cores      int         `json:"cores"`
+	GoVersion  string      `json:"go_version"`
+	NumCPU     int         `json:"num_cpu"`
 	GoMaxProcs int         `json:"gomaxprocs"`
+	Parallel   bool        `json:"parallel"`
 	Rows       interface{} `json:"rows"`
 }
 
 // WriteReport writes the report as indented JSON to
-// <dir>/BENCH_<experiment>.json and returns the path.
+// <dir>/BENCH_<experiment>.json and returns the path, stamping the
+// runtime environment fields when the caller left them zero.
 func WriteReport(dir string, r Report) (string, error) {
-	if r.Cores == 0 {
-		r.Cores = runtime.NumCPU()
+	if r.GoVersion == "" {
+		r.GoVersion = runtime.Version()
+	}
+	if r.NumCPU == 0 {
+		r.NumCPU = runtime.NumCPU()
 	}
 	if r.GoMaxProcs == 0 {
 		r.GoMaxProcs = runtime.GOMAXPROCS(0)

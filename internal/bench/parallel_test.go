@@ -50,7 +50,10 @@ func TestWriteReport(t *testing.T) {
 	if got.Experiment != "fig3a" || got.Scale != 0.05 {
 		t.Errorf("round-trip = %+v", got)
 	}
-	if got.Cores <= 0 || got.GoMaxProcs <= 0 {
-		t.Errorf("cores/gomaxprocs not populated: %+v", got)
+	if got.NumCPU <= 0 || got.GoMaxProcs <= 0 {
+		t.Errorf("num_cpu/gomaxprocs not populated: %+v", got)
+	}
+	if got.GoVersion == "" {
+		t.Errorf("go_version not populated: %+v", got)
 	}
 }

@@ -39,6 +39,10 @@ func randFootprint(rng *rand.Rand, n, grid int) Footprint {
 			Weight: float64(1 + rng.Intn(3)),
 		}
 	}
+	// Sorted like every production footprint; the copy+sort fallback
+	// has its own test (TestEnsureSortedFallback) so the rest of the
+	// suite runs under -tags strictsort.
+	SortByMinX(f)
 	return f
 }
 

@@ -30,6 +30,10 @@ func (quickFootprint) Generate(rng *rand.Rand, size int) reflect.Value {
 			Weight: float64(1+rng.Intn(4)) / 2,
 		}
 	}
+	// Sorted like every production footprint (strictsort builds
+	// forbid unsorted input to SimilarityJoin; the fallback is
+	// covered by TestEnsureSortedFallback).
+	SortByMinX(Footprint(f))
 	return reflect.ValueOf(f)
 }
 

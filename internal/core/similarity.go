@@ -111,6 +111,12 @@ func ensureSorted(f Footprint) Footprint {
 	if IsSortedByMinX(f) {
 		return f
 	}
+	if strictSortViolationPanics {
+		// -tags strictsort: an unsorted footprint reached a similarity
+		// kernel, meaning some ingest path skipped SortByMinX and is
+		// paying a hidden copy+sort here on every call.
+		panic("core: footprint not sorted by MinX (strictsort build)")
+	}
 	g := make(Footprint, len(f))
 	copy(g, f)
 	SortByMinX(g)

@@ -1,0 +1,8 @@
+//go:build !strictsort
+
+package core
+
+// strictSortViolationPanics is false in normal builds: ensureSorted
+// silently copies and sorts unsorted footprints (see strictsort_on.go
+// for the diagnostic build).
+const strictSortViolationPanics = false

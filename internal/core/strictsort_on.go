@@ -1,0 +1,13 @@
+//go:build strictsort
+
+package core
+
+// strictSortViolationPanics turns ensureSorted's silent copy-and-sort
+// fallback into a panic. The MinX-sorted footprint invariant is
+// supposed to be established at every ingest path (store, extract,
+// server, bench); the fallback exists only as a safety net for
+// hand-built footprints. Building with -tags strictsort (as `make
+// check` does for the test suite) surfaces any code path that leaks an
+// unsorted footprint into a similarity kernel — each such path pays a
+// hidden O(n log n) copy per call in normal builds.
+const strictSortViolationPanics = true

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestEnsureSortedFallback covers the one path strictsort builds
+// forbid: SimilarityJoin on an unsorted footprint must copy, sort and
+// produce the same score — without mutating the caller's slice.
+func TestEnsureSortedFallback(t *testing.T) {
+	if strictSortViolationPanics {
+		t.Skip("strictsort build: the fallback deliberately panics")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		sorted := randFootprint(rng, 2+rng.Intn(12), 10)
+		shuffled := append(Footprint(nil), sorted...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		if IsSortedByMinX(shuffled) {
+			continue
+		}
+		other := randFootprint(rng, 1+rng.Intn(12), 10)
+		n, on := Norm(sorted), Norm(other)
+		if n == 0 || on == 0 {
+			continue
+		}
+		before := append(Footprint(nil), shuffled...)
+		want := SimilarityJoin(sorted, other, n, on)
+		got := SimilarityJoin(shuffled, other, n, on)
+		if got != want {
+			t.Fatalf("trial %d: unsorted join = %v, sorted = %v", trial, got, want)
+		}
+		if !reflect.DeepEqual(shuffled, before) {
+			t.Fatalf("trial %d: SimilarityJoin mutated its input", trial)
+		}
+	}
+}
+
+// TestStrictSortPanics pins the diagnostic behaviour itself when the
+// build tag is on.
+func TestStrictSortPanics(t *testing.T) {
+	if !strictSortViolationPanics {
+		t.Skip("normal build: fallback sorts instead of panicking")
+	}
+	unsorted := Footprint{reg(5, 0, 6, 1, 1), reg(0, 0, 1, 1, 1)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("strictsort build did not panic on an unsorted footprint")
+		}
+	}()
+	SimilarityJoin(unsorted, unsorted, Norm(unsorted), Norm(unsorted))
+}

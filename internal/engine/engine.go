@@ -57,6 +57,12 @@ const (
 	// MethodBatch is the Section 6.1.2 search; parallel across
 	// queries only, for the same reason as MethodIterative.
 	MethodBatch
+	// MethodSketch is the sketch filter-and-refine search
+	// (search.TopKSketch): candidates ranked by their grid-sketch
+	// upper bound, refined in descending bound order with worker-local
+	// early exit (see sketch.go for the exactness argument). Requires
+	// the database's sketch layer; New enables it when absent.
+	MethodSketch
 )
 
 // minShard is the smallest number of refinement candidates worth
@@ -108,6 +114,13 @@ func New(db *store.FootprintDB, opts Options) *QueryEngine {
 		if e.uc == nil {
 			e.uc = search.NewUserCentricIndex(db, search.BuildSTR, 0)
 		}
+	case MethodSketch:
+		if !db.SketchesEnabled() {
+			db.EnableSketches(0, e.workers)
+		}
+		if e.uc == nil {
+			e.uc = search.NewUserCentricIndex(db, search.BuildSTR, 0)
+		}
 	case MethodIterative, MethodBatch:
 		if e.roi == nil {
 			e.roi = search.NewRoIIndex(db, search.BuildSTR, 0)
@@ -144,6 +157,8 @@ func (e *QueryEngine) TopK(q core.Footprint, k int) []search.Result {
 		return e.roi.TopKIterative(q, k)
 	case MethodBatch:
 		return e.roi.TopKBatch(q, k)
+	case MethodSketch:
+		return e.topKSketch(q, k)
 	default:
 		qnorm := core.Norm(q)
 		if qnorm == 0 {
@@ -164,6 +179,8 @@ func (e *QueryEngine) serialTopK(q core.Footprint, k int) []search.Result {
 		return e.roi.TopKIterative(q, k)
 	case MethodBatch:
 		return e.roi.TopKBatch(q, k)
+	case MethodSketch:
+		return e.uc.TopKSketch(q, k)
 	default:
 		return e.uc.TopK(q, k)
 	}

@@ -37,6 +37,7 @@ func clusteredFootprints(rng *rand.Rand, users, hotspots int) []core.Footprint {
 				Weight: float64(1 + rng.Intn(2)),
 			}
 		}
+		core.SortByMinX(f)
 		fps[u] = f
 	}
 	return fps
@@ -64,6 +65,9 @@ func methods(db *store.FootprintDB) map[string]struct {
 	lin := search.NewLinearScan(db)
 	roi := search.NewRoIIndex(db, search.BuildSTR, 0)
 	uc := search.NewUserCentricIndex(db, search.BuildSTR, 0)
+	if !db.SketchesEnabled() {
+		db.EnableSketches(0, 0)
+	}
 	return map[string]struct {
 		m      Method
 		serial func(q core.Footprint, k int) []search.Result
@@ -72,6 +76,7 @@ func methods(db *store.FootprintDB) map[string]struct {
 		"iterative":    {MethodIterative, roi.TopKIterative},
 		"batch":        {MethodBatch, roi.TopKBatch},
 		"user-centric": {MethodUserCentric, uc.TopK},
+		"sketch":       {MethodSketch, uc.TopKSketch},
 	}
 }
 

@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSketchAutoEnable: New with MethodSketch on a sketch-less
+// database must enable the layer itself, and the engine's answers must
+// still match the serial sketch search on the same (now enabled)
+// database.
+func TestSketchAutoEnable(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	db := testDB(t, rng, 150)
+	if db.SketchesEnabled() {
+		t.Fatal("fresh database unexpectedly has sketches")
+	}
+	e := New(db, Options{Workers: 4, Method: MethodSketch})
+	if !db.SketchesEnabled() {
+		t.Fatal("New(MethodSketch) did not enable the sketch layer")
+	}
+	for trial := 0; trial < 10; trial++ {
+		q := db.Footprints[rng.Intn(db.Len())]
+		want := e.serialTopK(q, 5)
+		if got := e.TopK(q, 5); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: parallel sketch TopK diverged\ngot:  %v\nwant: %v", trial, got, want)
+		}
+	}
+}
+
+// TestSketchForcedFanout drives the strided parallel path directly by
+// using a single-candidate-per-shard threshold-beating workload: a
+// large database queried with a broad footprint so the candidate list
+// far exceeds minShard per worker.
+func TestSketchForcedFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	db := testDB(t, rng, 600)
+	e := New(db, Options{Workers: 8, Method: MethodSketch})
+	for trial := 0; trial < 15; trial++ {
+		q := db.Footprints[rng.Intn(db.Len())]
+		k := 1 + rng.Intn(12)
+		want := e.uc.TopKSketch(q, k)
+		if got := e.TopK(q, k); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d k=%d: diverged\ngot:  %v\nwant: %v", trial, k, got, want)
+		}
+	}
+}

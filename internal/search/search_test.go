@@ -37,6 +37,7 @@ func clusteredFootprints(rng *rand.Rand, users, hotspots int) []core.Footprint {
 				Weight: float64(1 + rng.Intn(2)),
 			}
 		}
+		core.SortByMinX(f)
 		fps[u] = f
 	}
 	return fps

@@ -1,0 +1,81 @@
+package search
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+)
+
+// TestTopKSketchExactlyMatchesLinear demands byte-identical output —
+// same IDs, same float64 scores, same order — from TopKSketch and
+// LinearScan.TopK. Both run Algorithm 4 with identical argument order
+// on every candidate they refine, so the scores agree bit-for-bit, and
+// the bound-pruning proof (sketchsearch.go) guarantees the refined set
+// determines the same collector contents.
+func TestTopKSketchExactlyMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, g := range []int{8, 32, 64} {
+		db := testDB(t, rng, 180)
+		db.EnableSketches(g, 0)
+		linear := NewLinearScan(db)
+		uc := NewUserCentricIndex(db, BuildSTR, 16)
+		for trial := 0; trial < 30; trial++ {
+			var q core.Footprint
+			if trial%2 == 0 {
+				q = db.Footprints[rng.Intn(db.Len())]
+			} else {
+				q = clusteredFootprints(rng, 1, 12)[0]
+			}
+			k := []int{1, 5, 50}[trial%3]
+			want := linear.TopK(q, k)
+			got, st := uc.TopKSketchStats(q, k)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("G=%d trial %d k=%d: sketch results differ\ngot:  %v\nwant: %v\nstats: %v",
+					g, trial, k, got, want, st)
+			}
+			if st.Refined > st.Scored || st.Scored > st.Candidates {
+				t.Fatalf("G=%d trial %d: inconsistent stats %v", g, trial, st)
+			}
+		}
+	}
+}
+
+// TestTopKSketchDegenerateQueries mirrors the Searcher edge cases.
+func TestTopKSketchDegenerateQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	db := testDB(t, rng, 30)
+	db.EnableSketches(32, 0)
+	uc := NewUserCentricIndex(db, BuildSTR, 0)
+	degenerate := core.Footprint{{Rect: geom.Rect{MinX: 1, MinY: 1, MaxX: 1, MaxY: 1}, Weight: 1}}
+	if got := uc.TopKSketch(degenerate, 5); got != nil {
+		t.Errorf("zero-norm query returned %v, want nil", got)
+	}
+	if got := uc.TopKSketch(nil, 5); got != nil {
+		t.Errorf("empty query returned %v, want nil", got)
+	}
+	if got := uc.TopKSketch(db.Footprints[0], 0); got != nil {
+		t.Errorf("k=0 returned %v, want nil", got)
+	}
+	far := core.Footprint{{Rect: geom.Rect{MinX: 50, MinY: 50, MaxX: 51, MaxY: 51}, Weight: 1}}
+	if got := uc.TopKSketch(far, 5); len(got) != 0 {
+		t.Errorf("disjoint query returned %v", got)
+	}
+}
+
+// TestTopKSketchRequiresEnable documents the contract: calling the
+// sketch search on a database without the layer is a programming
+// error, not a silent fallback.
+func TestTopKSketchRequiresEnable(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	db := testDB(t, rng, 10)
+	uc := NewUserCentricIndex(db, BuildSTR, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TopKSketch on a sketch-less database did not panic")
+		}
+	}()
+	uc.TopKSketch(db.Footprints[0], 3)
+}

@@ -8,9 +8,9 @@
 //
 //	GET    /healthz                  liveness + corpus size
 //	GET    /v1/users/{id}            footprint summary
-//	GET    /v1/users/{id}/similar    top-k similar users (?k=, ?exclude_self=)
+//	GET    /v1/users/{id}/similar    top-k similar users (?k=, ?exclude_self=, ?method=)
 //	GET    /v1/similarity            pairwise score (?a=, ?b=)
-//	POST   /v1/query                 top-k for an ad-hoc footprint
+//	POST   /v1/query                 top-k for an ad-hoc footprint ("method" selects the engine)
 //	PUT    /v1/users/{id}            upsert a footprint (JSON body)
 //	DELETE /v1/users/{id}            tombstone a user
 //
@@ -42,18 +42,27 @@ type Server struct {
 	db  *store.FootprintDB
 	idx *search.UserCentricIndex
 	eng *engine.QueryEngine
-	cls *classify.Classifier // nil until SetLabels
-	mux *http.ServeMux
+	// engSketch shares db and idx with eng but executes the sketch
+	// filter-and-refine path; selected per request via ?method=sketch
+	// (GET) or "method":"sketch" (POST). Results are identical to eng's
+	// — the sketch method is exact — so the choice is purely a
+	// performance knob.
+	engSketch *engine.QueryEngine
+	cls       *classify.Classifier // nil until SetLabels
+	mux       *http.ServeMux
 }
 
-// New builds a server over db, indexing it immediately.
+// New builds a server over db, indexing it immediately. The sketch
+// layer is enabled up front so mutations maintain it from the first
+// request on.
 func New(db *store.FootprintDB) *Server {
 	idx := search.NewUserCentricIndex(db, search.BuildSTR, 0)
 	s := &Server{
-		db:  db,
-		idx: idx,
-		eng: engine.New(db, engine.Options{UserCentric: idx}),
-		mux: http.NewServeMux(),
+		db:        db,
+		idx:       idx,
+		eng:       engine.New(db, engine.Options{UserCentric: idx}),
+		engSketch: engine.New(db, engine.Options{UserCentric: idx, Method: engine.MethodSketch}),
+		mux:       http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/users/{id}", s.handleGetUser)
@@ -91,6 +100,21 @@ type resultJSON struct {
 type queryJSON struct {
 	Regions []regionJSON `json:"regions"`
 	K       int          `json:"k"`
+	// Method selects the search path: "" or "user-centric" for the
+	// default engine, "sketch" for the sketch filter-and-refine engine.
+	Method string `json:"method,omitempty"`
+}
+
+// engineFor maps a request's method name to the engine executing it.
+func (s *Server) engineFor(method string) (*engine.QueryEngine, error) {
+	switch method {
+	case "", "user-centric":
+		return s.eng, nil
+	case "sketch":
+		return s.engSketch, nil
+	default:
+		return nil, fmt.Errorf("unknown method %q (want \"user-centric\" or \"sketch\")", method)
+	}
 }
 
 type errorJSON struct {
@@ -189,6 +213,11 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	excludeSelf := r.URL.Query().Get("exclude_self") == "true"
+	eng, err := s.engineFor(r.URL.Query().Get("method"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -201,7 +230,7 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	if excludeSelf {
 		want++
 	}
-	res := s.eng.TopK(s.db.Footprints[i], want)
+	res := eng.TopK(s.db.Footprints[i], want)
 	out := make([]resultJSON, 0, k)
 	for _, rr := range res {
 		if excludeSelf && rr.ID == id {
@@ -251,8 +280,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad footprint: %v", err)
 		return
 	}
+	eng, err := s.engineFor(q.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	s.mu.RLock()
-	res := s.eng.TopK(f, q.K)
+	res := eng.TopK(f, q.K)
 	s.mu.RUnlock()
 	out := make([]resultJSON, len(res))
 	for i, rr := range res {

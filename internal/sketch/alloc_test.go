@@ -1,0 +1,28 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+
+	"geofootprint/internal/geom"
+)
+
+// TestDotAllocationFree pins the filter-step kernel at zero
+// allocations, joining the Algorithm 4 / sweep guards in
+// internal/core/alloc_test.go: sketch scoring runs once per candidate
+// per query, so a single allocation here would dwarf the joins it
+// saves.
+func TestDotAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := Params{G: 64, Domain: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}
+	a := Build(randomFootprint(rng, 24, 1), p)
+	b := Build(randomFootprint(rng, 18, 1), p)
+	var sink float64
+	avg := testing.AllocsPerRun(200, func() {
+		sink += Dot(&a, &b)
+	})
+	if avg != 0 {
+		t.Fatalf("Dot allocates %v times per run, want 0", avg)
+	}
+	_ = sink
+}

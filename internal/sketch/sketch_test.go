@@ -1,0 +1,208 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+)
+
+func randomFootprint(rng *rand.Rand, n int, spread float64) core.Footprint {
+	f := make(core.Footprint, n)
+	for i := range f {
+		x, y := rng.Float64()*spread, rng.Float64()*spread
+		w := 0.01 + rng.Float64()*0.08
+		h := 0.01 + rng.Float64()*0.08
+		f[i] = core.Region{
+			Rect:   geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h},
+			Weight: float64(1 + rng.Intn(4)),
+		}
+	}
+	core.SortByMinX(f)
+	return f
+}
+
+func randomParams(rng *rand.Rand) Params {
+	gs := []int{1, 2, 7, 16, 32, 64}
+	p := Params{G: gs[rng.Intn(len(gs))]}
+	switch rng.Intn(3) {
+	case 0:
+		// Domain covering every generated footprint.
+		p.Domain = geom.Rect{MinX: 0, MinY: 0, MaxX: 1.2, MaxY: 1.2}
+	case 1:
+		// Domain the footprints overflow on all sides: exercises the
+		// border-cell clamp.
+		p.Domain = geom.Rect{MinX: 0.2, MinY: 0.3, MaxX: 0.7, MaxY: 0.8}
+	default:
+		// Offset domain, footprints partly outside.
+		p.Domain = geom.Rect{MinX: -0.5, MinY: 0.1, MaxX: 0.9, MaxY: 1.5}
+	}
+	return p
+}
+
+// TestUpperBoundDominatesSimilarity is the correctness property of the
+// whole filter layer: for any two footprints and any shared raster,
+// the sketch bound must dominate the exact Equation 1 similarity.
+// Domains smaller than the data are included, so the border clamp is
+// covered too.
+func TestUpperBoundDominatesSimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for it := 0; it < 500; it++ {
+		p := randomParams(rng)
+		fx := randomFootprint(rng, 1+rng.Intn(20), 1)
+		fy := randomFootprint(rng, 1+rng.Intn(20), 1)
+		sx, sy := Build(fx, p), Build(fy, p)
+		nx, ny := core.Norm(fx), core.Norm(fy)
+
+		sim := core.Similarity(fx, fy)
+		bound := UpperBound(Dot(&sx, &sy), nx, ny)
+		if bound < sim-1e-9 {
+			t.Fatalf("iteration %d (G=%d domain=%v): bound %.12f < similarity %.12f",
+				it, p.G, p.Domain, bound, sim)
+		}
+		if bound > 1 {
+			t.Fatalf("iteration %d: bound %v above 1", it, bound)
+		}
+	}
+}
+
+// TestSketchConservation checks the two exactness invariants the bound
+// proof rests on: the sketch preserves total mass (Σ Mass = Σ |R|·w)
+// and the norm (Σ Root² = ||f||²) bit-for-bit up to round-off, even
+// when the footprint overflows the domain.
+func TestSketchConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for it := 0; it < 200; it++ {
+		p := randomParams(rng)
+		f := randomFootprint(rng, 1+rng.Intn(24), 1)
+		s := Build(f, p)
+
+		var wantMass float64
+		for _, r := range f {
+			wantMass += r.Rect.Area() * r.Weight
+		}
+		if got := s.MassTotal(); math.Abs(got-wantMass) > 1e-9*(1+wantMass) {
+			t.Fatalf("iteration %d: mass %v, want %v", it, got, wantMass)
+		}
+		wantSq := core.NormSquared(f)
+		if got := s.NormSquared(); math.Abs(got-wantSq) > 1e-9*(1+wantSq) {
+			t.Fatalf("iteration %d: norm² %v, want %v", it, got, wantSq)
+		}
+	}
+}
+
+// TestBuildDeterministic: same footprint, same params — identical
+// sketch, regardless of map iteration order inside Build.
+func TestBuildDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := Params{G: 32, Domain: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}
+	f := randomFootprint(rng, 16, 1)
+	a, b := Build(f, p), Build(f, p)
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] || a.Mass[i] != b.Mass[i] || a.Root[i] != b.Root[i] {
+			t.Fatalf("cell %d differs: %v/%v/%v vs %v/%v/%v",
+				i, a.Cells[i], a.Mass[i], a.Root[i], b.Cells[i], b.Mass[i], b.Root[i])
+		}
+	}
+}
+
+// TestSelfBoundIsOne: the bound of a footprint against itself is
+// exactly its self-similarity (1): Dot(s, s) = Σ Root² = ||f||².
+func TestSelfBoundIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := Params{G: 64, Domain: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}
+	for it := 0; it < 50; it++ {
+		f := randomFootprint(rng, 1+rng.Intn(12), 1)
+		s := Build(f, p)
+		n := core.Norm(f)
+		if b := UpperBound(Dot(&s, &s), n, n); math.Abs(b-1) > 1e-9 {
+			t.Fatalf("self bound %v, want 1", b)
+		}
+	}
+}
+
+// TestDisjointSketchesBoundZero: footprints in different grid cells
+// share no sketch cells, so the filter rejects them outright.
+func TestDisjointSketchesBoundZero(t *testing.T) {
+	p := Params{G: 16, Domain: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}
+	fa := core.Footprint{{Rect: geom.Rect{MinX: 0.01, MinY: 0.01, MaxX: 0.05, MaxY: 0.05}, Weight: 1}}
+	fb := core.Footprint{{Rect: geom.Rect{MinX: 0.90, MinY: 0.90, MaxX: 0.95, MaxY: 0.95}, Weight: 2}}
+	sa, sb := Build(fa, p), Build(fb, p)
+	if d := Dot(&sa, &sb); d != 0 {
+		t.Fatalf("disjoint sketches dot %v, want 0", d)
+	}
+}
+
+// TestEmptyAndDegenerate covers the zero-value paths.
+func TestEmptyAndDegenerate(t *testing.T) {
+	p := Params{G: 8, Domain: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}
+	var empty Sketch
+	s := Build(nil, p)
+	if s.Len() != 0 {
+		t.Fatalf("sketch of nil footprint has %d cells", s.Len())
+	}
+	if Dot(&s, &empty) != 0 {
+		t.Fatal("dot with empty sketch not 0")
+	}
+	if UpperBound(0, 0, 1) != 0 || UpperBound(5, 1, 1) != 1 {
+		t.Fatal("UpperBound clamp broken")
+	}
+	// Degenerate (zero-area) regions carry no mass.
+	deg := core.Footprint{{Rect: geom.Rect{MinX: 0.5, MinY: 0.5, MaxX: 0.5, MaxY: 0.7}, Weight: 3}}
+	if ds := Build(deg, p); ds.MassTotal() != 0 {
+		t.Fatalf("degenerate footprint mass %v, want 0", ds.MassTotal())
+	}
+}
+
+// TestFitDomain pads empty and degenerate rectangles into usable
+// domains.
+func TestFitDomain(t *testing.T) {
+	if d := FitDomain(geom.EmptyRect()); !(Params{G: 1, Domain: d}).Valid() {
+		t.Fatalf("FitDomain(empty) = %v invalid", d)
+	}
+	if d := FitDomain(geom.Rect{MinX: 2, MinY: 3, MaxX: 2, MaxY: 3}); !(Params{G: 1, Domain: d}).Valid() {
+		t.Fatalf("FitDomain(point) = %v invalid", d)
+	}
+	r := geom.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 2}
+	if FitDomain(r) != r {
+		t.Fatalf("FitDomain altered a valid rect")
+	}
+}
+
+// FuzzUpperBound drives the domination property from fuzzed rectangle
+// coordinates: two three-region footprints derived from the inputs
+// must never exceed their sketch bound.
+func FuzzUpperBound(f *testing.F) {
+	f.Add(0.1, 0.2, 0.3, 0.4, 0.15, 0.25, int64(1))
+	f.Add(0.0, 0.0, 1.0, 1.0, 0.5, 0.5, int64(9))
+	f.Fuzz(func(t *testing.T, x, y, w, h, qx, qy float64, seed int64) {
+		for _, v := range []float64{x, y, w, h, qx, qy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				t.Skip("out of modelled range")
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(ox, oy float64) core.Footprint {
+			fp := core.Footprint{
+				{Rect: geom.Rect{MinX: ox, MinY: oy, MaxX: ox + math.Abs(w) + 0.01, MaxY: oy + math.Abs(h) + 0.01}, Weight: 1},
+				{Rect: geom.Rect{MinX: ox + 0.02, MinY: oy + 0.01, MaxX: ox + 0.07, MaxY: oy + 0.05}, Weight: 2},
+				{Rect: geom.Rect{MinX: ox - 0.03, MinY: oy, MaxX: ox + 0.01, MaxY: oy + 0.02}, Weight: 1},
+			}
+			core.SortByMinX(fp)
+			return fp
+		}
+		fx, fy := mk(x, y), mk(qx, qy)
+		p := Params{G: 1 + rng.Intn(48), Domain: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}
+		sx, sy := Build(fx, p), Build(fy, p)
+		sim := core.Similarity(fx, fy)
+		bound := UpperBound(Dot(&sx, &sy), core.Norm(fx), core.Norm(fy))
+		if bound < sim-1e-9 {
+			t.Fatalf("G=%d: bound %.12f < similarity %.12f", p.G, bound, sim)
+		}
+	})
+}

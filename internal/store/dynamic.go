@@ -42,6 +42,7 @@ func (db *FootprintDB) Upsert(id int, f core.Footprint) int {
 	db.Footprints[i] = f
 	db.Norms[i] = core.Norm(f)
 	db.MBRs[i] = f.MBR()
+	db.refreshSketch(i)
 	return i
 }
 
@@ -59,6 +60,7 @@ func (db *FootprintDB) AppendRoIs(id int, regions []core.Region) int {
 	db.Footprints[i] = f
 	db.Norms[i] = core.Norm(f)
 	db.MBRs[i] = f.MBR()
+	db.refreshSketch(i)
 	return i
 }
 
@@ -68,6 +70,7 @@ func (db *FootprintDB) AppendRoIs(id int, regions []core.Region) int {
 // invalidated and must be rebuilt; long-running services call this
 // during maintenance windows after many Removes.
 func (db *FootprintDB) Compact() int {
+	sketches := db.SketchesEnabled()
 	keep := 0
 	for i := range db.IDs {
 		if len(db.Footprints[i]) == 0 {
@@ -77,6 +80,9 @@ func (db *FootprintDB) Compact() int {
 		db.Footprints[keep] = db.Footprints[i]
 		db.Norms[keep] = db.Norms[i]
 		db.MBRs[keep] = db.MBRs[i]
+		if sketches {
+			db.Sketches[keep] = db.Sketches[i]
+		}
 		keep++
 	}
 	removed := len(db.IDs) - keep
@@ -84,19 +90,34 @@ func (db *FootprintDB) Compact() int {
 	db.Footprints = db.Footprints[:keep]
 	db.Norms = db.Norms[:keep]
 	db.MBRs = db.MBRs[:keep]
+	if sketches {
+		db.Sketches = db.Sketches[:keep]
+	}
 	db.byID = nil // force rebuild on next IndexOf
 	return removed
 }
 
-// Merge appends every user of other into db, recomputing nothing:
-// norms and MBRs are copied. User IDs must be disjoint; a duplicate ID
-// aborts with an error before any change is applied. It is the way to
-// combine evaluation parts (e.g. Part A + Part B) or shard extraction
-// across machines.
+// Merge appends every user of other into db, recomputing as little as
+// possible: norms and MBRs are copied. User IDs must be disjoint; a
+// duplicate ID aborts with an error before any change is applied. It
+// is the way to combine evaluation parts (e.g. Part A + Part B) or
+// shard extraction across machines.
+//
+// Incoming footprints are sorted by Rect.MinX in place when they are
+// not already (the database invariant; a hand-built `other` can
+// violate it — databases produced by this package never do, making the
+// check O(n)). When db's sketch layer is enabled, sketches for the
+// incoming users are copied if other shares db's exact sketch
+// parameters and rebuilt under db's parameters otherwise.
 func (db *FootprintDB) Merge(other *FootprintDB) error {
 	for _, id := range other.IDs {
 		if _, exists := db.IndexOf(id); exists {
 			return fmt.Errorf("store: merge would duplicate user ID %d", id)
+		}
+	}
+	for _, f := range other.Footprints {
+		if !core.IsSortedByMinX(f) {
+			core.SortByMinX(f)
 		}
 	}
 	base := len(db.IDs)
@@ -104,6 +125,15 @@ func (db *FootprintDB) Merge(other *FootprintDB) error {
 	db.Footprints = append(db.Footprints, other.Footprints...)
 	db.Norms = append(db.Norms, other.Norms...)
 	db.MBRs = append(db.MBRs, other.MBRs...)
+	if db.SketchesEnabled() {
+		if other.SketchParams == db.SketchParams && len(other.Sketches) == len(other.IDs) {
+			db.Sketches = append(db.Sketches, other.Sketches...)
+		} else {
+			for i := range other.IDs {
+				db.refreshSketch(base + i)
+			}
+		}
+	}
 	if db.byID != nil {
 		for i, id := range other.IDs {
 			db.byID[id] = base + i
@@ -124,5 +154,6 @@ func (db *FootprintDB) Remove(id int) bool {
 	db.Footprints[i] = nil
 	db.Norms[i] = 0
 	db.MBRs[i] = geom.EmptyRect()
+	db.refreshSketch(i)
 	return true
 }

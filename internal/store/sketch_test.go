@@ -1,0 +1,191 @@
+package store
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+	"geofootprint/internal/sketch"
+)
+
+func sketchDB(t *testing.T, seed int64, users int) *FootprintDB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	fps := randFootprints(rng, users, 6)
+	ids := make([]int, users)
+	for i := range ids {
+		ids[i] = i * 7
+	}
+	db, err := FromFootprints("sketchy", ids, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.EnableSketches(32, 0)
+	return db
+}
+
+// rebuiltSketches returns what a from-scratch EnableSketches at the
+// database's *current* params would produce — the oracle incremental
+// maintenance must match. The domain is pinned (not refitted) because
+// mutations never move the domain.
+func rebuiltSketches(db *FootprintDB) []sketch.Sketch {
+	out := make([]sketch.Sketch, len(db.Footprints))
+	for i, f := range db.Footprints {
+		out[i] = sketch.Build(f, db.SketchParams)
+	}
+	return out
+}
+
+func checkAligned(t *testing.T, db *FootprintDB, when string) {
+	t.Helper()
+	if len(db.Sketches) != len(db.IDs) {
+		t.Fatalf("%s: %d sketches for %d users", when, len(db.Sketches), len(db.IDs))
+	}
+	want := rebuiltSketches(db)
+	if !reflect.DeepEqual(normalizeSketches(db.Sketches), normalizeSketches(want)) {
+		t.Fatalf("%s: incrementally maintained sketches differ from a rebuild", when)
+	}
+}
+
+// normalizeSketches maps empty-but-non-nil slices to nil so DeepEqual
+// compares content, not make-vs-zero-value representation.
+func normalizeSketches(ss []sketch.Sketch) []sketch.Sketch {
+	out := make([]sketch.Sketch, len(ss))
+	for i, s := range ss {
+		if s.Len() > 0 {
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// TestSketchMaintenance drives every mutation path and checks the
+// sketch layer stays identical to a full rebuild after each step.
+func TestSketchMaintenance(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	db := sketchDB(t, 1, 12)
+	checkAligned(t, db, "after enable")
+
+	// Upsert: replace an existing user and add a new one.
+	db.Upsert(0, randFootprints(rng, 1, 5)[0])
+	checkAligned(t, db, "after upsert-replace")
+	db.Upsert(10_000, randFootprints(rng, 1, 5)[0])
+	checkAligned(t, db, "after upsert-new")
+
+	// AppendRoIs on existing and on a fresh user.
+	db.AppendRoIs(7, randFootprints(rng, 1, 3)[0])
+	checkAligned(t, db, "after append-existing")
+	db.AppendRoIs(20_000, randFootprints(rng, 1, 3)[0])
+	checkAligned(t, db, "after append-new")
+
+	// Remove tombstones; the sketch must empty with the footprint.
+	db.Remove(14)
+	checkAligned(t, db, "after remove")
+	if db.Sketches[2].Len() != 0 {
+		t.Fatal("tombstoned user kept a non-empty sketch")
+	}
+
+	// Merge with matching params (copy path).
+	other := sketchDB(t, 2, 5)
+	other.SketchParams = db.SketchParams
+	other.Sketches = rebuiltSketches(other)
+	for i := range other.IDs {
+		other.IDs[i] += 1_000_000
+	}
+	other.byID = nil
+	if err := db.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	checkAligned(t, db, "after merge-same-params")
+
+	// Merge with different params (rebuild path) and an unsorted
+	// incoming footprint (the invariant audit: Merge must restore
+	// MinX order).
+	other2 := sketchDB(t, 3, 4)
+	for i := range other2.IDs {
+		other2.IDs[i] += 2_000_000
+	}
+	other2.byID = nil
+	other2.Footprints[0] = core.Footprint{
+		{Rect: geom.Rect{MinX: 0.9, MinY: 0.1, MaxX: 0.95, MaxY: 0.2}, Weight: 1},
+		{Rect: geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2}, Weight: 1},
+	}
+	if err := db.Merge(other2); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range db.Footprints {
+		if !core.IsSortedByMinX(f) {
+			t.Fatalf("footprint %d unsorted after merge", i)
+		}
+	}
+	checkAligned(t, db, "after merge-different-params")
+
+	// Compact drops tombstones and must keep sketches aligned.
+	db.Remove(0)
+	db.Remove(21)
+	db.Compact()
+	checkAligned(t, db, "after compact")
+}
+
+// TestSketchPersistence round-trips an enabled database through gob
+// and checks params and sketches survive; a database without sketches
+// must load as sketch-disabled.
+func TestSketchPersistence(t *testing.T) {
+	db := sketchDB(t, 4, 10)
+	path := filepath.Join(t.TempDir(), "sketch.db")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SketchesEnabled() {
+		t.Fatal("sketches lost in round-trip")
+	}
+	if got.SketchParams != db.SketchParams {
+		t.Fatalf("params %+v, want %+v", got.SketchParams, db.SketchParams)
+	}
+	if !reflect.DeepEqual(normalizeSketches(got.Sketches), normalizeSketches(db.Sketches)) {
+		t.Fatal("sketches differ after round-trip")
+	}
+
+	db.DisableSketches()
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SketchesEnabled() {
+		t.Fatal("disabled database loaded with sketches enabled")
+	}
+}
+
+// TestSketchDomainFixedUnderUpsert: a user escaping the enable-time
+// domain is clamped, and the bound property still holds against every
+// stored user.
+func TestSketchDomainFixedUnderUpsert(t *testing.T) {
+	db := sketchDB(t, 5, 8)
+	dom := db.SketchParams.Domain
+	escapee := core.Footprint{
+		{Rect: geom.Rect{MinX: dom.MaxX + 1, MinY: dom.MaxY + 1, MaxX: dom.MaxX + 1.3, MaxY: dom.MaxY + 1.2}, Weight: 2},
+		{Rect: geom.Rect{MinX: dom.MinX - 0.5, MinY: dom.MinY, MaxX: dom.MinX + 0.1, MaxY: dom.MinY + 0.3}, Weight: 1},
+	}
+	core.SortByMinX(escapee)
+	u := db.Upsert(777_777, escapee)
+	if db.SketchParams.Domain != dom {
+		t.Fatal("upsert moved the sketch domain")
+	}
+	for v := range db.IDs {
+		sim := core.SimilarityJoin(db.Footprints[u], db.Footprints[v], db.Norms[u], db.Norms[v])
+		bound := sketch.UpperBound(sketch.Dot(&db.Sketches[u], &db.Sketches[v]), db.Norms[u], db.Norms[v])
+		if bound < sim-1e-9 {
+			t.Fatalf("user %d: clamped bound %v < similarity %v", v, bound, sim)
+		}
+	}
+}

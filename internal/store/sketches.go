@@ -1,0 +1,88 @@
+package store
+
+import (
+	"runtime"
+	"sync"
+
+	"geofootprint/internal/geom"
+	"geofootprint/internal/sketch"
+)
+
+// This file manages the database's sketch layer: per-user grid
+// fingerprints (internal/sketch) that let search rank candidates by a
+// provable similarity upper bound before paying for an Algorithm 4
+// refinement. The layer is opt-in — EnableSketches builds it — and
+// once enabled every mutation path (Upsert, AppendRoIs, Remove, Merge,
+// Compact) keeps it aligned with Footprints, so indexes can rely on
+// db.Sketches[u] being current whenever db.Footprints[u] is.
+
+// SketchesEnabled reports whether the sketch layer is active.
+func (db *FootprintDB) SketchesEnabled() bool { return db.SketchParams.Valid() }
+
+// EnableSketches (re)builds a sketch for every user at resolution g
+// (DefaultG when g <= 0) over the union of all footprint MBRs, on
+// `workers` goroutines (GOMAXPROCS if <= 0). The domain is fixed at
+// this call: footprints upserted later that escape it are clamped into
+// border cells, which loosens their bounds but never invalidates them
+// (see the sketch package proof), so re-enabling with a fresh domain
+// is an optimisation, not a correctness requirement.
+func (db *FootprintDB) EnableSketches(g, workers int) {
+	if g <= 0 {
+		g = sketch.DefaultG
+	}
+	union := geom.EmptyRect()
+	for _, m := range db.MBRs {
+		union = union.Extend(m)
+	}
+	db.SketchParams = sketch.Params{G: g, Domain: sketch.FitDomain(union)}
+	db.Sketches = make([]sketch.Sketch, len(db.Footprints))
+
+	n := len(db.Footprints)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, f := range db.Footprints {
+			db.Sketches[i] = sketch.Build(f, db.SketchParams)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				db.Sketches[i] = sketch.Build(db.Footprints[i], db.SketchParams)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// DisableSketches drops the sketch layer.
+func (db *FootprintDB) DisableSketches() {
+	db.SketchParams = sketch.Params{}
+	db.Sketches = nil
+}
+
+// refreshSketch re-rasterises user i after a mutation. The Sketches
+// slice is grown on demand so Upsert can extend the user space before
+// calling it.
+func (db *FootprintDB) refreshSketch(i int) {
+	if !db.SketchesEnabled() {
+		return
+	}
+	for len(db.Sketches) <= i {
+		db.Sketches = append(db.Sketches, sketch.Sketch{})
+	}
+	db.Sketches[i] = sketch.Build(db.Footprints[i], db.SketchParams)
+}

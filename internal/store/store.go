@@ -15,6 +15,7 @@ import (
 	"geofootprint/internal/core"
 	"geofootprint/internal/extract"
 	"geofootprint/internal/geom"
+	"geofootprint/internal/sketch"
 	"geofootprint/internal/traj"
 )
 
@@ -35,6 +36,15 @@ type FootprintDB struct {
 	Footprints []core.Footprint
 	Norms      []float64
 	MBRs       []geom.Rect
+
+	// SketchParams and Sketches are the optional filter layer:
+	// per-user grid sketches (internal/sketch) whose dot product upper
+	// bounds Equation 1 similarity. EnableSketches turns the layer on;
+	// a zero SketchParams means disabled. When enabled, every dynamic
+	// mutation keeps Sketches aligned with Footprints, and Save/Load
+	// persist them with the rest of the database.
+	SketchParams sketch.Params
+	Sketches     []sketch.Sketch
 
 	byID map[int]int // lazily built ID → index
 }
@@ -148,12 +158,18 @@ func (db *FootprintDB) NumRegions() int {
 }
 
 // dbWire is the gob wire format, decoupled from unexported fields.
+// The sketch fields gob-default to zero, so files written before the
+// sketch layer existed load as sketch-disabled databases, and old
+// readers skip the unknown fields.
 type dbWire struct {
 	Name       string
 	IDs        []int
 	Footprints []core.Footprint
 	Norms      []float64
 	MBRs       []geom.Rect
+
+	SketchParams sketch.Params
+	Sketches     []sketch.Sketch
 }
 
 // Save writes the database to path in gob format.
@@ -164,7 +180,8 @@ func (db *FootprintDB) Save(path string) error {
 	}
 	defer f.Close()
 	bw := bufio.NewWriter(f)
-	w := dbWire{db.Name, db.IDs, db.Footprints, db.Norms, db.MBRs}
+	w := dbWire{db.Name, db.IDs, db.Footprints, db.Norms, db.MBRs,
+		db.SketchParams, db.Sketches}
 	if err := gob.NewEncoder(bw).Encode(&w); err != nil {
 		return fmt.Errorf("store: encoding %s: %w", path, err)
 	}
@@ -186,13 +203,19 @@ func Load(path string) (*FootprintDB, error) {
 		return nil, fmt.Errorf("store: decoding %s: %w", path, err)
 	}
 	db := &FootprintDB{Name: w.Name, IDs: w.IDs, Footprints: w.Footprints,
-		Norms: w.Norms, MBRs: w.MBRs}
+		Norms: w.Norms, MBRs: w.MBRs,
+		SketchParams: w.SketchParams, Sketches: w.Sketches}
 	if len(db.Norms) != len(db.IDs) || len(db.Footprints) != len(db.IDs) {
 		return nil, fmt.Errorf("store: %s: inconsistent lengths", path)
 	}
+	if db.SketchesEnabled() && len(db.Sketches) != len(db.IDs) {
+		return nil, fmt.Errorf("store: %s: %d sketches for %d users",
+			path, len(db.Sketches), len(db.IDs))
+	}
 	// Databases saved before the sorted-footprint invariant existed may
 	// hold unsorted footprints; restoring it here is an O(n) check per
-	// footprint for modern files.
+	// footprint for modern files. Their sketches (if any) are
+	// order-independent, so they stay valid.
 	for _, f := range db.Footprints {
 		if !core.IsSortedByMinX(f) {
 			core.SortByMinX(f)

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Compare two BENCH_<exp>.json reports (geobench -json output) and fail
+# when any method's wall-clock regressed by more than 15% (override
+# with -threshold). Usage:
+#
+#   scripts/benchdiff.sh old/BENCH_fig3a.json new/BENCH_fig3a.json
+#   scripts/benchdiff.sh -threshold 0.10 old.json new.json
+#
+# JSON parsing lives in cmd/benchdiff (plain Go, no dependencies); this
+# wrapper only anchors the working directory so relative report paths
+# and the module both resolve.
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchdiff "$@"

@@ -13,11 +13,19 @@ go vet ./...
 echo "== go build ./... =="
 go build ./...
 
-echo "== go test -race (engine, search, server, store, sweep, core) =="
+echo "== go test -race (engine, search, server, store, sweep, core, sketch) =="
 go test -race ./internal/engine/... ./internal/search/... ./internal/server/... \
-	./internal/store/... ./internal/sweep/... ./internal/core/...
+	./internal/store/... ./internal/sweep/... ./internal/core/... \
+	./internal/sketch/...
 
 echo "== go test ./... =="
 go test ./...
+
+# The strictsort build turns the similarity kernels' silent
+# copy+sort fallback into a panic, so any code path that leaks an
+# unsorted footprint into Algorithm 4 fails loudly here instead of
+# silently costing O(n log n) per call in production builds.
+echo "== go test -tags strictsort ./... =="
+go test -tags strictsort ./...
 
 echo "check: all passes clean"
