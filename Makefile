@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check test race bench-fig3a bench-sketch benchdiff clean
+.PHONY: check test race bench-fig3a bench-sketch bench-ingest benchdiff clean
 
 check:
 	./scripts/check.sh
@@ -13,7 +13,8 @@ test:
 	$(GO) build ./... && $(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/... ./internal/search/... ./internal/server/...
+	$(GO) test -race ./internal/engine/... ./internal/search/... ./internal/server/... \
+		./internal/ingest/... ./internal/wal/...
 
 # Regenerate the committed BENCH_fig3a.json evidence (serial vs
 # parallel batched top-k at geobench scale 0.05).
@@ -24,6 +25,12 @@ bench-fig3a:
 # filter-and-refine resolution sweep vs linear/user-centric/pruned).
 bench-sketch:
 	$(GO) run ./cmd/geobench -exp sketch -scale 0.05 -json .
+
+# Regenerate the committed BENCH_ingest.json evidence (WAL-durable
+# streaming ingestion throughput per fsync policy + query latency
+# during vs after ingest).
+bench-ingest:
+	$(GO) run ./cmd/geobench -exp ingest -scale 0.05 -json .
 
 # Compare two BENCH_<exp>.json reports; fails on >15% wall-clock
 # regression of any method. Usage:

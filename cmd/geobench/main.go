@@ -19,9 +19,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 
 	"geofootprint/internal/bench"
+	"geofootprint/internal/wal"
 )
 
 // Paper-published values, for side-by-side reporting.
@@ -45,7 +47,7 @@ func main() {
 	log.SetPrefix("geobench: ")
 
 	exp := flag.String("exp", "all",
-		"experiment: table1, table2, table3, table4, fig3a, fig3b, sketch, mbr-sensitivity, tuning, weighted, grid, cluster-methods, scale-sweep, k-sensitivity or all")
+		"experiment: table1, table2, table3, table4, fig3a, fig3b, sketch, ingest, mbr-sensitivity, tuning, weighted, grid, cluster-methods, scale-sweep, k-sensitivity or all")
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's user counts (1.0 = full size)")
 	partsFlag := flag.String("parts", "A,B,C,D", "comma-separated parts to run")
 	queries := flag.Int("queries", 50, "query users for table3 (paper: 200)")
@@ -81,6 +83,10 @@ func main() {
 			log.Fatalf("writing %s report: %v", name, err)
 		}
 		fmt.Printf("(wrote %s)\n\n", path)
+	}
+
+	if runtime.GOMAXPROCS(0) == 1 {
+		log.Print("WARNING: GOMAXPROCS=1 — parallel speedups and concurrent-ingest numbers are not meaningful; the JSON reports carry this warning")
 	}
 
 	fmt.Printf("geobench: scale=%.3g parts=%s (paper hardware: i9-10900K, g++ -O3; absolute times differ)\n\n",
@@ -221,6 +227,29 @@ func main() {
 			fmt.Println()
 		}
 		emit("sketch", reps)
+	}
+
+	// The ingest benchmark writes temporary WALs and fsyncs per batch,
+	// so like the tuning sweep it only runs when requested explicitly.
+	if *exp == "ingest" {
+		users := int(10000 * *scale)
+		samples := int(2000000 * *scale)
+		fmt.Printf("== Streaming ingestion: %d users, %d samples, WAL-durable, per fsync policy ==\n",
+			users, samples)
+		fmt.Printf("%-10s %14s %12s %10s %10s %16s %16s\n",
+			"policy", "samples/s", "wall (s)", "users", "RoIs", "query busy (µs)", "query idle (µs)")
+		rows, err := bench.IngestBench(users, samples, 200,
+			[]wal.SyncPolicy{wal.SyncEveryAppend, wal.SyncInterval, wal.SyncNone}, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Printf("%-10s %14.0f %12.2f %10d %10d %16.1f %16.1f\n",
+				r.Policy, r.SamplesPerSec, r.IngestWallSeconds, r.Users, r.RoIs,
+				r.QueryDuringMicros, r.QueryIdleMicros)
+		}
+		fmt.Println()
+		emit("ingest", rows)
 	}
 
 	if want("fig3b") {

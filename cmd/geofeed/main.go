@@ -1,0 +1,190 @@
+// Command geofeed exercises the streaming ingestion path.
+//
+// Feed mode generates a synthetic location firehose — users dwelling,
+// walking, and disappearing past the session gap — and POSTs it to a
+// geoserve /v1/ingest endpoint as NDJSON batches, honouring 429
+// backpressure with Retry-After:
+//
+//	geofeed feed -url http://localhost:8080 -users 200 -rate 5000 -duration 30s
+//
+// Inspect mode reads a write-ahead log offline and reports every
+// record (LSN, samples, bytes, CRC validity) plus whether the tail is
+// torn or corrupt — the first thing to look at after a crash:
+//
+//	geofeed inspect -wal ingest.wal [-v]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"geofootprint/internal/ingest"
+	"geofootprint/internal/wal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("geofeed: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "feed":
+		feed(os.Args[2:])
+	case "inspect":
+		inspect(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: geofeed feed|inspect [flags]")
+	os.Exit(2)
+}
+
+// walker is one synthetic user's state in the generated stream.
+type walker struct {
+	x, y, t float64
+}
+
+func feed(args []string) {
+	fs := flag.NewFlagSet("feed", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:8080", "geoserve base URL")
+	users := fs.Int("users", 100, "synthetic user population")
+	rate := fs.Float64("rate", 2000, "target samples/second (0: as fast as possible)")
+	duration := fs.Duration("duration", 10*time.Second, "how long to feed")
+	batch := fs.Int("batch", 200, "samples per POST")
+	seed := fs.Int64("seed", 1, "stream seed")
+	fs.Parse(args)
+
+	rng := rand.New(rand.NewSource(*seed))
+	cur := make([]walker, *users)
+	for i := range cur {
+		cur[i] = walker{rng.Float64(), rng.Float64(), rng.Float64() * 5}
+	}
+	next := func() ingest.Sample {
+		u := rng.Intn(*users)
+		c := &cur[u]
+		switch r := rng.Float64(); {
+		case r < 0.03: // session break
+			c.t += 120 + rng.Float64()*120
+			c.x, c.y = rng.Float64(), rng.Float64()
+		case r < 0.15: // relocation within the session
+			c.t += 1
+			c.x, c.y = rng.Float64(), rng.Float64()
+		default: // dwell
+			c.t += 1
+			c.x += (rng.Float64() - 0.5) * 0.01
+			c.y += (rng.Float64() - 0.5) * 0.01
+		}
+		return ingest.Sample{User: u + 1, X: c.x, Y: c.y, T: c.t}
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var (
+		sent, batches, retries, rejected int
+		buf                              bytes.Buffer
+	)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	for time.Now().Before(deadline) {
+		buf.Reset()
+		for i := 0; i < *batch; i++ {
+			s := next()
+			fmt.Fprintf(&buf, `{"user":%d,"x":%g,"y":%g,"t":%g}`+"\n", s.User, s.X, s.Y, s.T)
+		}
+		for {
+			resp, err := client.Post(*url+"/v1/ingest", "application/x-ndjson", bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				log.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				sent += *batch
+				batches++
+				break
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				rejected++
+				retries++
+				wait := 50 * time.Millisecond
+				if ra := resp.Header.Get("Retry-After"); ra != "" {
+					if d, err := time.ParseDuration(ra + "s"); err == nil {
+						wait = d
+					}
+				}
+				time.Sleep(wait)
+				continue
+			}
+			log.Fatalf("POST /v1/ingest: status %d", resp.StatusCode)
+		}
+		if *rate > 0 {
+			// Pace to the target rate against the wall clock.
+			ahead := time.Duration(float64(sent)/(*rate)*float64(time.Second)) - time.Since(start)
+			if ahead > 0 {
+				time.Sleep(ahead)
+			}
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	fmt.Printf("fed %d samples in %d batches over %.1fs (%.0f samples/s); %d backpressure retries\n",
+		sent, batches, elapsed, float64(sent)/elapsed, rejected)
+}
+
+func inspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	path := fs.String("wal", "", "write-ahead log to read (required)")
+	verbose := fs.Bool("v", false, "print every record")
+	fs.Parse(args)
+	if *path == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		records, samples int
+		bytesTotal       int64
+		firstLSN, lastLSN uint64
+	)
+	n, damaged, err := wal.Replay(*path, func(rec wal.Record) error {
+		if firstLSN == 0 {
+			firstLSN = rec.LSN
+		}
+		lastLSN = rec.LSN
+		records++
+		bytesTotal += int64(len(rec.Payload))
+		batch, derr := ingest.DecodeBatch(rec.Payload)
+		if derr != nil {
+			// CRC-valid but undecodable: a format-version mismatch.
+			fmt.Printf("record LSN %d: %v\n", rec.LSN, derr)
+			return nil
+		}
+		samples += len(batch)
+		if *verbose {
+			fmt.Printf("LSN %-8d %5d samples  %7d bytes  t=[%g, %g]\n",
+				rec.LSN, len(batch), len(rec.Payload), batch[0].T, batch[len(batch)-1].T)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fi, err := os.Stat(*path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d records (LSN %d..%d), %d samples, %d payload bytes, %d file bytes\n",
+		*path, n, firstLSN, lastLSN, samples, bytesTotal, fi.Size())
+	if damaged {
+		fmt.Println("TAIL DAMAGED: the last record is torn or corrupt; recovery applies the intact prefix and the next open truncates the tail")
+		os.Exit(1)
+	}
+	fmt.Println("tail clean: every record passes CRC")
+}

@@ -2,9 +2,21 @@
 // integration point for recommender systems and market-analysis
 // dashboards.
 //
-// Usage:
+// Two modes, by data source:
 //
 //	geoserve -db partA.db -addr :8080
+//
+// serves a static corpus built offline (geobuild). Alternatively,
+//
+//	geoserve -wal ingest.wal -snapshot ingest.snap -addr :8080
+//
+// serves a live corpus fed through POST /v1/ingest: on startup the
+// durable state is recovered (snapshot + WAL tail replay), and every
+// acknowledged sample batch survives a crash. The WAL fsync policy is
+// -sync (batch|interval|none); -snapshot-every bounds replay work by
+// checkpointing after that many WAL records. On SIGINT/SIGTERM the
+// server drains in-flight requests, then checkpoints and closes the
+// pipeline, so the next start replays nothing.
 //
 // Endpoints: see internal/server. Quick check:
 //
@@ -13,34 +25,91 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"geofootprint/internal/extract"
+	"geofootprint/internal/ingest"
 	"geofootprint/internal/server"
 	"geofootprint/internal/store"
+	"geofootprint/internal/wal"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("geoserve: ")
 
-	dbPath := flag.String("db", "", "FootprintDB path (required)")
+	dbPath := flag.String("db", "", "static FootprintDB path (exclusive with -wal)")
 	addr := flag.String("addr", ":8080", "listen address")
+
+	walPath := flag.String("wal", "", "write-ahead log path; enables streaming ingestion")
+	snapPath := flag.String("snapshot", "", "snapshot path (default: <wal>.snap)")
+	syncMode := flag.String("sync", "batch", "WAL fsync policy: batch|interval|none")
+	syncEvery := flag.Duration("sync-interval", 50*time.Millisecond, "fsync period under -sync interval")
+	snapEvery := flag.Int("snapshot-every", 4096, "checkpoint after this many WAL records (0: only on shutdown)")
+	gap := flag.Float64("session-gap", 60, "seconds of silence that end a user's session")
+	eps := flag.Float64("eps", 0.02, "RoI extraction ε (spatial closeness)")
+	tau := flag.Int("tau", 30, "RoI extraction τ (minimum dwell samples)")
 	flag.Parse()
 
-	if *dbPath == "" {
+	if (*dbPath == "") == (*walPath == "") {
+		log.Print("need exactly one data source: -db (static) or -wal (streaming)")
 		flag.Usage()
 		os.Exit(2)
 	}
+
 	start := time.Now()
-	db, err := store.Load(*dbPath)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		db   *store.FootprintDB
+		pipe *ingest.Pipeline
+	)
+	if *dbPath != "" {
+		var err error
+		if db, err = store.Load(*dbPath); err != nil {
+			log.Fatal(err)
+		}
 	}
-	srv := server.New(db)
+
+	var srv *server.Server
+	if *walPath != "" {
+		if *snapPath == "" {
+			*snapPath = *walPath + ".snap"
+		}
+		policy, err := wal.ParsePolicy(*syncMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := ingest.Config{
+			WALPath:       *walPath,
+			SnapshotPath:  *snapPath,
+			Extract:       extract.Config{Epsilon: *eps, Tau: *tau},
+			SessionGap:    *gap,
+			Sync:          policy,
+			SyncInterval:  *syncEvery,
+			SnapshotEvery: *snapEvery,
+		}
+		rec, err := ingest.Recover(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rec.Damaged {
+			log.Printf("WAL tail was torn or corrupt; recovered the intact prefix (%d records)", rec.Replayed)
+		}
+		log.Printf("recovered %d users from snapshot + %d WAL records", rec.DB.Len(), rec.Replayed)
+		db = rec.DB
+		srv = server.New(db)
+		if pipe, err = srv.AttachPipeline(cfg, rec.State); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		srv = server.New(db)
+	}
 	log.Printf("loaded %d users (%d regions) in %.2fs; listening on %s",
 		db.Len(), db.NumRegions(), time.Since(start).Seconds(), *addr)
 
@@ -50,5 +119,28 @@ func main() {
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
-	log.Fatal(httpSrv.ListenAndServe())
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("%s: shutting down", s)
+	}
+	// Drain in-flight requests first (ingest acks must not be dropped),
+	// then checkpoint and close the pipeline.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if pipe != nil {
+		if err := pipe.Close(); err != nil {
+			log.Fatalf("pipeline close: %v", err)
+		}
+		log.Print("checkpointed; WAL empty")
+	}
 }

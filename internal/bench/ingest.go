@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/extract"
+	"geofootprint/internal/geom"
+	"geofootprint/internal/ingest"
+	"geofootprint/internal/search"
+	"geofootprint/internal/store"
+	"geofootprint/internal/wal"
+)
+
+// Streaming-ingestion benchmark: sustained WAL-durable throughput per
+// fsync policy, and the query-latency cost of ingesting concurrently
+// with serving — the operational questions the paper's offline
+// pipeline never had to answer.
+
+// IngestRow is one fsync policy's measurement. Throughput fields
+// deliberately do not end in _seconds/_micros: benchdiff compares
+// wall-clock keys as costs (smaller is better), which would invert the
+// meaning of a rate. The wall-clock and latency fields do, so
+// regressions in them gate PRs.
+type IngestRow struct {
+	Policy  string `json:"policy"`
+	Samples int    `json:"samples"`
+	Batches int    `json:"batches"`
+	Users   int    `json:"users"`
+	RoIs    uint64 `json:"rois"`
+
+	SamplesPerSec     float64 `json:"samples_per_sec"`
+	IngestWallSeconds float64 `json:"ingest_wall_seconds"`
+	// Mean top-k latency of a linear scan over the growing corpus
+	// while ingestion is applying, vs after it has drained.
+	QueryDuringMicros float64 `json:"query_during_micros"`
+	QueryIdleMicros   float64 `json:"query_idle_micros"`
+	WALBytes          int64   `json:"wal_bytes"`
+}
+
+// benchSink is the server's locking discipline without the HTTP
+// server: mutations and snapshots behind a write lock, queries behind
+// read locks.
+type benchSink struct {
+	mu sync.RWMutex
+	db *store.FootprintDB
+}
+
+func (s *benchSink) ApplyBatch(updates []ingest.UserRoIs) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, u := range updates {
+		s.db.AppendRoIs(u.User, core.FromRoIs(u.RoIs, 0))
+	}
+}
+
+func (s *benchSink) WithDB(fn func(db *store.FootprintDB)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.db)
+}
+
+// ingestStream generates the synthetic firehose: users dwell (emitting
+// RoIs), relocate, and disappear past the session gap.
+func ingestStream(users, samples int, seed int64) []ingest.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	type cursor struct{ x, y, t float64 }
+	cur := make([]cursor, users)
+	for u := range cur {
+		cur[u] = cursor{rng.Float64(), rng.Float64(), rng.Float64() * 5}
+	}
+	out := make([]ingest.Sample, 0, samples)
+	for i := 0; i < samples; i++ {
+		u := rng.Intn(users)
+		c := &cur[u]
+		switch r := rng.Float64(); {
+		case r < 0.03:
+			c.t += 120 + rng.Float64()*120
+			c.x, c.y = rng.Float64(), rng.Float64()
+		case r < 0.15:
+			c.t += 1
+			c.x, c.y = rng.Float64(), rng.Float64()
+		default:
+			c.t += 1
+			c.x += (rng.Float64() - 0.5) * 0.01
+			c.y += (rng.Float64() - 0.5) * 0.01
+		}
+		out = append(out, ingest.Sample{User: u + 1, X: c.x, Y: c.y, T: c.t})
+	}
+	return out
+}
+
+// ingestQuery is the fixed probe footprint for the latency
+// measurements: a handful of cells across the middle of the unit
+// domain, overlapping many users.
+func ingestQuery() core.Footprint {
+	f := core.Footprint{}
+	for i := 0; i < 5; i++ {
+		x := 0.15 * float64(i+1)
+		f = append(f, core.Region{
+			Rect:   geom.Rect{MinX: x, MinY: x, MaxX: x + 0.05, MaxY: x + 0.05},
+			Weight: 1,
+		})
+	}
+	core.SortByMinX(f)
+	return f
+}
+
+// IngestBench feeds the same synthetic stream through the durable
+// pipeline once per fsync policy and reports sustained throughput plus
+// query latency during and after ingestion. Policies differ only in
+// WAL durability, so throughput deltas isolate the fsync cost.
+func IngestBench(users, samples, batchSize int, policies []wal.SyncPolicy, seed int64) ([]IngestRow, error) {
+	stream := ingestStream(users, samples, seed)
+	q := ingestQuery()
+
+	var rows []IngestRow
+	for _, policy := range policies {
+		dir, err := os.MkdirTemp("", "geobench-ingest-*")
+		if err != nil {
+			return nil, err
+		}
+		cfg := ingest.Config{
+			WALPath:      filepath.Join(dir, "bench.wal"),
+			SnapshotPath: filepath.Join(dir, "bench.snap"),
+			Extract:      extract.Config{Epsilon: 0.02, Tau: 10},
+			SessionGap:   60,
+			Sync:         policy,
+			SyncInterval: 10 * time.Millisecond,
+			MaxBatch:     batchSize,
+		}
+		sink := &benchSink{db: &store.FootprintDB{Name: "bench"}}
+		p, err := ingest.New(cfg, sink, nil)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+
+		// Concurrent reader: linear-scan top-k under the read lock
+		// while the apply goroutine lands batches under the write lock.
+		stop := make(chan struct{})
+		type latency struct {
+			total time.Duration
+			n     int
+		}
+		during := make(chan latency, 1)
+		go func() {
+			var l latency
+			lin := search.NewLinearScan(sink.db)
+			for {
+				select {
+				case <-stop:
+					during <- l
+					return
+				default:
+				}
+				t0 := time.Now()
+				sink.mu.RLock()
+				lin.TopK(q, 10)
+				sink.mu.RUnlock()
+				l.total += time.Since(t0)
+				l.n++
+			}
+		}()
+
+		start := time.Now()
+		batches := 0
+		for off := 0; off < len(stream); off += batchSize {
+			end := off + batchSize
+			if end > len(stream) {
+				end = len(stream)
+			}
+			for {
+				_, err := p.Ingest(stream[off:end])
+				if err == nil {
+					break
+				}
+				if err != ingest.ErrBacklogFull {
+					os.RemoveAll(dir)
+					return nil, err
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			batches++
+		}
+		if err := p.Drain(); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		wall := time.Since(start).Seconds()
+		close(stop)
+		dur := <-during
+
+		// Idle latency over the final corpus.
+		lin := search.NewLinearScan(sink.db)
+		idleRuns := dur.n
+		if idleRuns < 10 {
+			idleRuns = 10
+		}
+		if idleRuns > 2000 {
+			idleRuns = 2000
+		}
+		t0 := time.Now()
+		for i := 0; i < idleRuns; i++ {
+			lin.TopK(q, 10)
+		}
+		idle := time.Since(t0)
+
+		st := p.Stats()
+		row := IngestRow{
+			Policy:            policy.String(),
+			Samples:           samples,
+			Batches:           batches,
+			Users:             sink.db.Len(),
+			RoIs:              st.RoIs,
+			SamplesPerSec:     float64(samples) / wall,
+			IngestWallSeconds: wall,
+			QueryIdleMicros:   float64(idle.Microseconds()) / float64(idleRuns),
+			WALBytes:          st.WALBytes,
+		}
+		if dur.n > 0 {
+			row.QueryDuringMicros = float64(dur.total.Microseconds()) / float64(dur.n)
+		}
+		if err := p.Close(); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		os.RemoveAll(dir)
+		if row.Users == 0 || row.RoIs == 0 {
+			return nil, fmt.Errorf("ingest bench (%s): degenerate stream, no RoIs extracted", policy)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

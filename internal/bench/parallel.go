@@ -111,14 +111,19 @@ func Fig3aParallel(w *Workload, queries, k, workers int, seed int64) Fig3aParall
 // a report comparable across machines and settings: a wall-clock
 // regression means nothing without them.
 type Report struct {
-	Experiment string      `json:"experiment"`
-	Scale      float64     `json:"scale"`
-	Workers    int         `json:"workers"`
-	GoVersion  string      `json:"go_version"`
-	NumCPU     int         `json:"num_cpu"`
-	GoMaxProcs int         `json:"gomaxprocs"`
-	Parallel   bool        `json:"parallel"`
-	Rows       interface{} `json:"rows"`
+	Experiment string  `json:"experiment"`
+	Scale      float64 `json:"scale"`
+	Workers    int     `json:"workers"`
+	GoVersion  string  `json:"go_version"`
+	NumCPU     int     `json:"num_cpu"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Parallel   bool    `json:"parallel"`
+	// Warnings flags conditions that make the numbers incomparable to
+	// a normal run — a GOMAXPROCS=1 process measuring parallel code,
+	// for instance. Readers (and benchdiff users) should treat a
+	// report with warnings as suspect.
+	Warnings []string    `json:"warnings,omitempty"`
+	Rows     interface{} `json:"rows"`
 }
 
 // WriteReport writes the report as indented JSON to
@@ -133,6 +138,10 @@ func WriteReport(dir string, r Report) (string, error) {
 	}
 	if r.GoMaxProcs == 0 {
 		r.GoMaxProcs = runtime.GOMAXPROCS(0)
+	}
+	if r.GoMaxProcs == 1 {
+		r.Warnings = append(r.Warnings,
+			"GOMAXPROCS=1: parallel speedups and concurrent-ingest latencies are not meaningful in this report")
 	}
 	path := fmt.Sprintf("%s/BENCH_%s.json", dir, r.Experiment)
 	b, err := json.MarshalIndent(r, "", "  ")

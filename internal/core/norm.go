@@ -194,5 +194,26 @@ func DisjointRegions(f Footprint) []WeightedRect {
 	for k, r := range open {
 		out = append(out, WeightedRect{Rect: r, Weight: k.w})
 	}
+	// Rectangles are collected from map walks, so their order so far is
+	// nondeterministic. Canonicalize it: downstream consumers that
+	// accumulate floats over the result (sketch construction, norms by
+	// summation) would otherwise produce run-to-run ULP differences,
+	// breaking byte-identical snapshots and replay determinism. The
+	// rectangles have disjoint interiors, so (MinX, MinY) is a unique
+	// sort key.
+	slices.SortFunc(out, func(a, b WeightedRect) int {
+		switch {
+		case a.Rect.MinX < b.Rect.MinX:
+			return -1
+		case a.Rect.MinX > b.Rect.MinX:
+			return 1
+		case a.Rect.MinY < b.Rect.MinY:
+			return -1
+		case a.Rect.MinY > b.Rect.MinY:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return out
 }

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/ingest"
+	"geofootprint/internal/store"
+)
+
+// Streaming ingestion endpoints, active once AttachPipeline wires a
+// durable pipeline to the server:
+//
+//	POST /v1/ingest        NDJSON sample batch; 202 + LSN on success,
+//	                       429 + Retry-After under backpressure
+//	GET  /v1/ingest/stats  pipeline counters
+//
+// The pipeline's apply goroutine lands finished RoIs through a sink
+// that takes the server's write lock and incrementally maintains the
+// user-centric index, so queries on all methods keep serving — and
+// stay exact — while samples stream in.
+
+// maxIngestSamples bounds one POST /v1/ingest body; clients split
+// larger loads into multiple requests (and get per-batch LSNs).
+const maxIngestSamples = 10000
+
+// serverSink is the ingest.Sink that applies pipeline output to the
+// serving database: mutations behind the write lock, index maintained
+// per touched user — the same discipline as PUT /v1/users/{id}.
+type serverSink struct {
+	s         *Server
+	weighting core.Weighting
+}
+
+func (k serverSink) ApplyBatch(updates []ingest.UserRoIs) {
+	s := k.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, u := range updates {
+		i := s.db.AppendRoIs(u.User, core.FromRoIs(u.RoIs, k.weighting))
+		s.idx.UpdateUser(i)
+	}
+}
+
+func (k serverSink) WithDB(fn func(db *store.FootprintDB)) {
+	k.s.mu.Lock()
+	defer k.s.mu.Unlock()
+	fn(k.s.db)
+}
+
+// AttachPipeline starts a durable ingestion pipeline over the server's
+// database and registers the ingest routes. Call it once, after
+// ingest.Recover has rebuilt the database the server was constructed
+// over, passing the recovered state. The returned pipeline is owned by
+// the caller, who must Close it on shutdown (before the HTTP listener
+// stops accepting, so in-flight acks are not lost).
+func (s *Server) AttachPipeline(cfg ingest.Config, state *ingest.State) (*ingest.Pipeline, error) {
+	if s.pipe != nil {
+		return nil, errors.New("server: pipeline already attached")
+	}
+	p, err := ingest.New(cfg, serverSink{s: s, weighting: cfg.Weighting}, state)
+	if err != nil {
+		return nil, err
+	}
+	s.pipe = p
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/ingest/stats", s.handleIngestStats)
+	return p, nil
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	samples, err := ingest.ParseNDJSON(r.Body, maxIngestSamples)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch: %v", err)
+		return
+	}
+	if len(samples) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	lsn, err := s.pipe.Ingest(samples)
+	switch {
+	case err == nil:
+		// 202, not 200: the batch is durable but not yet queryable.
+		writeJSON(w, http.StatusAccepted, map[string]interface{}{
+			"lsn": lsn, "samples": len(samples),
+		})
+	case errors.Is(err, ingest.ErrBacklogFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ingest.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleIngestStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.pipe.Stats())
+}

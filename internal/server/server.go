@@ -14,6 +14,11 @@
 //	PUT    /v1/users/{id}            upsert a footprint (JSON body)
 //	DELETE /v1/users/{id}            tombstone a user
 //
+// With AttachPipeline (see ingest.go):
+//
+//	POST   /v1/ingest                NDJSON sample batch → WAL → footprints
+//	GET    /v1/ingest/stats          ingestion pipeline counters
+//
 // Reads run concurrently; mutations serialise behind a write lock and
 // incrementally maintain the search index.
 package server
@@ -29,6 +34,7 @@ import (
 	"geofootprint/internal/core"
 	"geofootprint/internal/engine"
 	"geofootprint/internal/geom"
+	"geofootprint/internal/ingest"
 	"geofootprint/internal/search"
 	"geofootprint/internal/store"
 )
@@ -49,6 +55,7 @@ type Server struct {
 	// performance knob.
 	engSketch *engine.QueryEngine
 	cls       *classify.Classifier // nil until SetLabels
+	pipe      *ingest.Pipeline     // nil until AttachPipeline
 	mux       *http.ServeMux
 }
 

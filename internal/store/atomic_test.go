@@ -1,0 +1,118 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+)
+
+func testDB(t *testing.T, name string) *FootprintDB {
+	t.Helper()
+	db, err := FromFootprints(name, []int{1, 2}, []core.Footprint{
+		{{Rect: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, Weight: 1}},
+		{{Rect: geom.Rect{MinX: 2, MinY: 2, MaxX: 3, MaxY: 3}, Weight: 2},
+			{Rect: geom.Rect{MinX: 2.5, MinY: 2, MaxX: 4, MaxY: 3}, Weight: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// A writer that fails partway through must leave an existing database
+// at the target path byte-for-byte intact — the atomic-Save guarantee.
+func TestPartialWriteNeverCorruptsExistingDB(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "users.db")
+	good := testDB(t, "good")
+	if err := good.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulated crash mid-write: emit some bytes, then fail, exactly
+	// what a full disk or a killed process leaves behind.
+	fail := errors.New("simulated partial write")
+	err = WriteFileAtomic(path, func(w io.Writer) error {
+		if _, err := w.Write([]byte("partial garbage that must never reach the target")); err != nil {
+			return err
+		}
+		return fail
+	})
+	if !errors.Is(err, fail) {
+		t.Fatalf("WriteFileAtomic error = %v, want simulated failure", err)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("target file changed despite failed write")
+	}
+	db, err := Load(path)
+	if err != nil {
+		t.Fatalf("existing DB unloadable after failed save: %v", err)
+	}
+	if !reflect.DeepEqual(db.IDs, good.IDs) || !reflect.DeepEqual(db.Footprints, good.Footprints) {
+		t.Fatal("recovered DB differs from original")
+	}
+
+	// No temp litter left behind.
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "users.db")
+	if err := testDB(t, "v1").Save(path); err != nil {
+		t.Fatal(err)
+	}
+	v2 := testDB(t, "v2")
+	v2.Upsert(3, core.Footprint{{Rect: geom.Rect{MaxX: 1, MaxY: 1}, Weight: 1}})
+	if err := v2.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Name != "v2" || db.Len() != 3 {
+		t.Fatalf("loaded %s with %d users, want v2 with 3", db.Name, db.Len())
+	}
+}
+
+func TestEncodeToDecodeFromRoundTrip(t *testing.T) {
+	db := testDB(t, "wire")
+	db.EnableSketches(16, 1)
+	var buf strings.Builder
+	if err := db.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrom(strings.NewReader(buf.String()), "wire-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Footprints, db.Footprints) ||
+		!reflect.DeepEqual(got.Norms, db.Norms) ||
+		!reflect.DeepEqual(got.Sketches, db.Sketches) ||
+		got.SketchParams != db.SketchParams {
+		t.Fatal("wire round-trip lost data")
+	}
+}

@@ -8,7 +8,9 @@ import (
 	"bufio"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 
@@ -172,45 +174,82 @@ type dbWire struct {
 	Sketches     []sketch.Sketch
 }
 
-// Save writes the database to path in gob format.
+// EncodeTo writes the database's gob wire form to w. Save wraps it in
+// an atomic file write; the ingest snapshot embeds it in a larger
+// stream.
+func (db *FootprintDB) EncodeTo(w io.Writer) error {
+	wire := dbWire{db.Name, db.IDs, db.Footprints, db.Norms, db.MBRs,
+		db.SketchParams, db.Sketches}
+	return gob.NewEncoder(w).Encode(&wire)
+}
+
+// Save writes the database to path in gob format. The write is atomic:
+// it goes to a temporary file in the target's directory, is fsynced,
+// and is renamed over path only when complete — a crash or error at
+// any point leaves an existing database at path untouched.
 func (db *FootprintDB) Save(path string) error {
-	f, err := os.Create(path)
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		if err := db.EncodeTo(w); err != nil {
+			return fmt.Errorf("store: encoding %s: %w", path, err)
+		}
+		return nil
+	})
+}
+
+// WriteFileAtomic writes a file through `write` into a temporary file
+// next to path, fsyncs it, and renames it over path. On any error the
+// temporary file is removed and path is left exactly as it was. The
+// same-directory temp file keeps the rename on one filesystem, which
+// is what makes it atomic.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	tmp := f.Name()
+	defer func() {
+		if tmp != "" {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
 	bw := bufio.NewWriter(f)
-	w := dbWire{db.Name, db.IDs, db.Footprints, db.Norms, db.MBRs,
-		db.SketchParams, db.Sketches}
-	if err := gob.NewEncoder(bw).Encode(&w); err != nil {
-		return fmt.Errorf("store: encoding %s: %w", path, err)
+	if err := write(bw); err != nil {
+		return err
 	}
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	tmp = "" // committed; disarm the cleanup
+	return nil
 }
 
-// Load reads a database previously written by Save.
-func Load(path string) (*FootprintDB, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
+// DecodeFrom reads one database in gob wire form from r, restoring the
+// MinX-sorted invariant (see Load for why). name labels errors.
+func DecodeFrom(r io.Reader, name string) (*FootprintDB, error) {
 	var w dbWire
-	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&w); err != nil {
-		return nil, fmt.Errorf("store: decoding %s: %w", path, err)
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("store: decoding %s: %w", name, err)
 	}
 	db := &FootprintDB{Name: w.Name, IDs: w.IDs, Footprints: w.Footprints,
 		Norms: w.Norms, MBRs: w.MBRs,
 		SketchParams: w.SketchParams, Sketches: w.Sketches}
 	if len(db.Norms) != len(db.IDs) || len(db.Footprints) != len(db.IDs) {
-		return nil, fmt.Errorf("store: %s: inconsistent lengths", path)
+		return nil, fmt.Errorf("store: %s: inconsistent lengths", name)
 	}
 	if db.SketchesEnabled() && len(db.Sketches) != len(db.IDs) {
 		return nil, fmt.Errorf("store: %s: %d sketches for %d users",
-			path, len(db.Sketches), len(db.IDs))
+			name, len(db.Sketches), len(db.IDs))
 	}
 	// Databases saved before the sorted-footprint invariant existed may
 	// hold unsorted footprints; restoring it here is an O(n) check per
@@ -222,4 +261,14 @@ func Load(path string) (*FootprintDB, error) {
 		}
 	}
 	return db, nil
+}
+
+// Load reads a database previously written by Save.
+func Load(path string) (*FootprintDB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeFrom(bufio.NewReader(f), path)
 }

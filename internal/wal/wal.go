@@ -1,0 +1,378 @@
+// Package wal implements the write-ahead log that makes streaming
+// ingestion durable: a single append-only file of length-prefixed,
+// CRC-checked records, each carrying a monotonically increasing log
+// sequence number (LSN).
+//
+// On-disk record layout (little endian):
+//
+//	offset  size  field
+//	0       4     payload length n
+//	4       8     LSN
+//	12      4     CRC-32C over (LSN bytes ‖ payload)
+//	16      n     payload
+//
+// The CRC covers the LSN so a record can never be replayed under a
+// sequence number it was not written with. A crash can leave a torn
+// tail — a partially written record, or garbage after the last
+// complete one. Open detects this (short header, short payload, or CRC
+// mismatch), truncates the file back to the last valid record, and
+// appends from there; Replay applied to an un-repaired file simply
+// stops at the first invalid record. Everything before a torn tail is
+// trusted: corruption is assumed to happen only at the end of the file
+// (the append-only write pattern), which is the standard WAL contract.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// headerSize is the fixed per-record overhead.
+const headerSize = 4 + 8 + 4
+
+// MaxRecordSize bounds a single payload; a length prefix beyond it is
+// treated as tail corruption rather than an attempt to allocate it.
+const MaxRecordSize = 64 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when appended records are forced to stable
+// storage.
+type SyncPolicy int
+
+const (
+	// SyncEveryAppend fsyncs after every Append: an acknowledged
+	// record survives any crash. The slowest, safest policy.
+	SyncEveryAppend SyncPolicy = iota
+	// SyncInterval fsyncs from a background timer: at most
+	// Options.Interval worth of acknowledged records can be lost.
+	SyncInterval
+	// SyncNone never fsyncs explicitly; the OS decides. A crash of
+	// the process alone loses nothing (writes are in the page
+	// cache), a machine crash loses what the kernel had not flushed.
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncEveryAppend:
+		return "batch"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps the CLI spelling to a policy.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "batch", "always":
+		return SyncEveryAppend, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf(`wal: unknown sync policy %q (want "batch", "interval" or "none")`, s)
+	}
+}
+
+// Options configures Open.
+type Options struct {
+	Policy SyncPolicy
+	// Interval is the background fsync period for SyncInterval
+	// (default 100ms when zero).
+	Interval time.Duration
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use.
+type Log struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	opts    Options
+	nextLSN uint64
+	size    int64 // current valid file size
+	closed  bool
+
+	stopSync chan struct{} // closes the interval-sync goroutine
+	syncDone chan struct{}
+	syncErr  error // first background fsync error, surfaced on Append
+}
+
+// Open opens (creating if absent) the log at path, scans it to find
+// the end of the valid record sequence, truncates any torn tail, and
+// positions appends after the last valid record. The returned log's
+// next LSN is one past the highest LSN on disk (or 1 for an empty
+// log).
+func Open(path string, opts Options) (*Log, error) {
+	if opts.Policy == SyncInterval && opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	lastLSN, validSize, _, err := scan(f, nil)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > validSize {
+		// Torn or corrupt tail: drop it so the next append starts a
+		// clean record boundary.
+		if err := f.Truncate(validSize); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(validSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &Log{f: f, path: path, opts: opts, nextLSN: lastLSN + 1, size: validSize}
+	if opts.Policy == SyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				if err := l.f.Sync(); err != nil && l.syncErr == nil {
+					l.syncErr = err
+				}
+			}
+			l.mu.Unlock()
+		case <-l.stopSync:
+			return
+		}
+	}
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Append writes one record and returns its LSN. Under SyncEveryAppend
+// the record is on stable storage when Append returns; under the other
+// policies it is in the OS page cache.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > MaxRecordSize {
+		return 0, fmt.Errorf("wal: payload of %d bytes exceeds MaxRecordSize", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.syncErr != nil {
+		return 0, l.syncErr
+	}
+	lsn := l.nextLSN
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[4:12], lsn)
+	crc := crc32.Update(crc32.Checksum(buf[4:12], castagnoli), castagnoli, payload)
+	binary.LittleEndian.PutUint32(buf[12:16], crc)
+	copy(buf[headerSize:], payload)
+	if _, err := l.f.Write(buf); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(buf))
+	l.nextLSN++
+	if l.opts.Policy == SyncEveryAppend {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+	return lsn, nil
+}
+
+// Sync forces everything appended so far to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.f.Sync()
+}
+
+// NextLSN returns the LSN the next Append will be assigned.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// AdvanceLSN raises the next LSN to at least lsn. Recovery calls it
+// with one past the snapshot's sequence number: after a snapshot that
+// made the whole log obsolete (and a Reset before the crash), the file
+// alone no longer witnesses how far the sequence got, so the snapshot
+// supplies the floor. It never lowers the sequence.
+func (l *Log) AdvanceLSN(lsn uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn > l.nextLSN {
+		l.nextLSN = lsn
+	}
+}
+
+// Size returns the current file size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Reset discards every record (after a snapshot has made them
+// obsolete) while keeping the LSN sequence monotone: the next Append
+// continues from the pre-reset sequence, so a stale record that
+// somehow survives can never alias a post-reset one.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	l.size = 0
+	return l.f.Sync()
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	stop := l.stopSync
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.syncDone
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Record is one replayed WAL entry.
+type Record struct {
+	LSN     uint64
+	Payload []byte
+}
+
+// Replay reads the log at path from the beginning, calling fn for each
+// valid record in order. Payload is only valid for the duration of the
+// call. It stops cleanly at the first torn or corrupt record (the
+// crash-recovery contract) and returns the number of valid records
+// together with whether a damaged tail was skipped. A missing file
+// replays zero records.
+func Replay(path string, fn func(rec Record) error) (n int, damaged bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	_, validSize, n, err := scan(f, fn)
+	if err != nil {
+		return n, false, err
+	}
+	fi, statErr := f.Stat()
+	if statErr != nil {
+		return n, false, statErr
+	}
+	return n, fi.Size() > validSize, nil
+}
+
+// scan walks the record sequence from the current start of f, calling
+// fn (when non-nil) per valid record, and returns the last LSN seen,
+// the byte offset one past the last valid record, and the record
+// count. Damage — short header, short payload, absurd length, CRC
+// mismatch — ends the scan without error.
+func scan(f *os.File, fn func(rec Record) error) (lastLSN uint64, validSize int64, n int, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, 0, err
+	}
+	r := &countingReader{r: f}
+	hdr := make([]byte, headerSize)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return lastLSN, validSize, n, nil // clean EOF or torn header
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		lsn := binary.LittleEndian.Uint64(hdr[4:12])
+		want := binary.LittleEndian.Uint32(hdr[12:16])
+		if length > MaxRecordSize {
+			return lastLSN, validSize, n, nil // corrupt length prefix
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return lastLSN, validSize, n, nil // torn payload
+		}
+		got := crc32.Update(crc32.Checksum(hdr[4:12], castagnoli), castagnoli, payload)
+		if got != want {
+			return lastLSN, validSize, n, nil // bit rot / torn overwrite
+		}
+		if fn != nil {
+			if err := fn(Record{LSN: lsn, Payload: payload}); err != nil {
+				return lastLSN, validSize, n, err
+			}
+		}
+		lastLSN = lsn
+		validSize = r.n
+		n++
+	}
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

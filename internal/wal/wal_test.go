@@ -1,0 +1,293 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func tmpLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.wal")
+}
+
+func appendAll(t *testing.T, l *Log, payloads ...string) []uint64 {
+	t.Helper()
+	lsns := make([]uint64, len(payloads))
+	for i, p := range payloads {
+		lsn, err := l.Append([]byte(p))
+		if err != nil {
+			t.Fatalf("append %q: %v", p, err)
+		}
+		lsns[i] = lsn
+	}
+	return lsns
+}
+
+func replayAll(t *testing.T, path string) (recs []Record, damaged bool) {
+	t.Helper()
+	_, damaged, err := Replay(path, func(r Record) error {
+		recs = append(recs, Record{LSN: r.LSN, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs, damaged
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{Policy: SyncEveryAppend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "", "gamma with a longer payload"}
+	lsns := appendAll(t, l, want...)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, damaged := replayAll(t, path)
+	if damaged {
+		t.Fatal("clean log reported damaged")
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.LSN != lsns[i] || string(r.Payload) != want[i] {
+			t.Errorf("record %d = (%d, %q), want (%d, %q)", i, r.LSN, r.Payload, lsns[i], want[i])
+		}
+	}
+	if lsns[0] != 1 {
+		t.Errorf("first LSN = %d, want 1", lsns[0])
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "a", "b")
+	l.Close()
+
+	l, err = Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsns := appendAll(t, l, "c")
+	l.Close()
+	if lsns[0] != 3 {
+		t.Fatalf("LSN after reopen = %d, want 3", lsns[0])
+	}
+	recs, _ := replayAll(t, path)
+	if len(recs) != 3 || string(recs[2].Payload) != "c" {
+		t.Fatalf("replay after reopen = %+v", recs)
+	}
+}
+
+// Torn tails of every length — from one byte of a header to one byte
+// short of a full record — must replay exactly the intact prefix and
+// reopen cleanly, with the damaged suffix truncated away.
+func TestTornTail(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "first", "second", "third-record-payload")
+	l.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastLen := headerSize + len("third-record-payload")
+	for cut := 1; cut < lastLen; cut++ {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			torn := filepath.Join(t.TempDir(), "torn.wal")
+			if err := os.WriteFile(torn, full[:len(full)-cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			recs, damaged := replayAll(t, torn)
+			if !damaged {
+				t.Error("torn tail not reported")
+			}
+			if len(recs) != 2 || string(recs[1].Payload) != "second" {
+				t.Fatalf("replayed %d records", len(recs))
+			}
+			// Reopen repairs: truncates to the valid prefix and appends
+			// with the next LSN after the surviving records.
+			l, err := Open(torn, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lsns := appendAll(t, l, "recovered")
+			l.Close()
+			if lsns[0] != 3 {
+				t.Errorf("post-repair LSN = %d, want 3", lsns[0])
+			}
+			recs, damaged = replayAll(t, torn)
+			if damaged || len(recs) != 3 || string(recs[2].Payload) != "recovered" {
+				t.Fatalf("post-repair replay: damaged=%v recs=%d", damaged, len(recs))
+			}
+		})
+	}
+}
+
+// A flipped bit anywhere in the final record fails its CRC; replay
+// keeps the prefix.
+func TestCorruptTail(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "keep-me", "corrupt-me")
+	l.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLen := headerSize + len("keep-me")
+	for _, off := range []int{firstLen + 4, firstLen + 12, firstLen + headerSize, len(full) - 1} {
+		t.Run(fmt.Sprintf("flip@%d", off), func(t *testing.T) {
+			bad := filepath.Join(t.TempDir(), "bad.wal")
+			mut := append([]byte(nil), full...)
+			mut[off] ^= 0x40
+			if err := os.WriteFile(bad, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			recs, damaged := replayAll(t, bad)
+			if !damaged {
+				t.Error("corruption not reported")
+			}
+			if len(recs) != 1 || string(recs[0].Payload) != "keep-me" {
+				t.Fatalf("replay kept %d records", len(recs))
+			}
+		})
+	}
+}
+
+// Corrupting the length prefix to an absurd value must not allocate or
+// read gigabytes — it is tail damage like any other.
+func TestCorruptLengthPrefix(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "good", "bad")
+	l.Close()
+	full, _ := os.ReadFile(path)
+	mut := append([]byte(nil), full...)
+	off := headerSize + len("good")
+	mut[off], mut[off+1], mut[off+2], mut[off+3] = 0xff, 0xff, 0xff, 0x7f
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, damaged := replayAll(t, path)
+	if !damaged || len(recs) != 1 {
+		t.Fatalf("damaged=%v recs=%d, want true/1", damaged, len(recs))
+	}
+}
+
+func TestResetKeepsSequence(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "a", "b", "c")
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	lsns := appendAll(t, l, "d")
+	l.Close()
+	if lsns[0] != 4 {
+		t.Fatalf("LSN after reset = %d, want 4", lsns[0])
+	}
+	recs, _ := replayAll(t, path)
+	if len(recs) != 1 || recs[0].LSN != 4 {
+		t.Fatalf("replay after reset = %+v", recs)
+	}
+}
+
+func TestAdvanceLSN(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.AdvanceLSN(100)
+	l.AdvanceLSN(50) // never lowers
+	lsns := appendAll(t, l, "x")
+	l.Close()
+	if lsns[0] != 100 {
+		t.Fatalf("LSN after advance = %d, want 100", lsns[0])
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	n, damaged, err := Replay(filepath.Join(t.TempDir(), "absent.wal"), nil)
+	if err != nil || n != 0 || damaged {
+		t.Fatalf("missing file: n=%d damaged=%v err=%v", n, damaged, err)
+	}
+}
+
+func TestIntervalPolicySyncs(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{Policy: SyncInterval, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "tick")
+	time.Sleep(30 * time.Millisecond) // lets the background fsync fire
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := replayAll(t, path)
+	if len(recs) != 1 || !bytes.Equal(recs[0].Payload, []byte("tick")) {
+		t.Fatalf("interval log replay = %+v", recs)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 50
+	done := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < each; i++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	recs, damaged := replayAll(t, path)
+	if damaged || len(recs) != writers*each {
+		t.Fatalf("damaged=%v recs=%d, want %d", damaged, len(recs), writers*each)
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d; sequence not dense", i, r.LSN)
+		}
+	}
+}

@@ -13,10 +13,10 @@ go vet ./...
 echo "== go build ./... =="
 go build ./...
 
-echo "== go test -race (engine, search, server, store, sweep, core, sketch) =="
+echo "== go test -race (engine, search, server, store, sweep, core, sketch, ingest, wal) =="
 go test -race ./internal/engine/... ./internal/search/... ./internal/server/... \
 	./internal/store/... ./internal/sweep/... ./internal/core/... \
-	./internal/sketch/...
+	./internal/sketch/... ./internal/ingest/... ./internal/wal/...
 
 echo "== go test ./... =="
 go test ./...
