@@ -98,6 +98,58 @@ func TestSaveOverwritesAtomically(t *testing.T) {
 	}
 }
 
+// A bare relative filename (no directory component) is what the
+// documented defaults produce — `geoserve -wal ingest.wal` snapshots
+// to ingest.wal.snap, `geoextract -out foo.db` saves to foo.db. The
+// temp file must land in the working directory, not $TMPDIR (often a
+// different filesystem, where the rename would fail with EXDEV), and
+// the result must be world-readable like a plain os.Create file.
+func TestWriteFileAtomicBareFilename(t *testing.T) {
+	dir := t.TempDir()
+	orig, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(orig)
+
+	db := testDB(t, "bare")
+	if err := db.Save("users.db"); err != nil {
+		t.Fatalf("Save to bare filename: %v", err)
+	}
+	got, err := Load("users.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.IDs, db.IDs) {
+		t.Fatal("bare-filename round-trip lost data")
+	}
+	fi, err := os.Stat("users.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := fi.Mode().Perm(); perm != 0o644 {
+		t.Errorf("saved file mode = %o, want 644", perm)
+	}
+
+	// Overwrite through WriteFileAtomic directly, still bare.
+	if err := WriteFileAtomic("users.db", func(w io.Writer) error {
+		_, err := w.Write([]byte("v2"))
+		return err
+	}); err != nil {
+		t.Fatalf("WriteFileAtomic to bare filename: %v", err)
+	}
+	b, err := os.ReadFile("users.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "v2" {
+		t.Fatalf("content = %q, want %q", b, "v2")
+	}
+}
+
 func TestEncodeToDecodeFromRoundTrip(t *testing.T) {
 	db := testDB(t, "wire")
 	db.EnableSketches(16, 1)

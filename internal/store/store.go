@@ -203,6 +203,13 @@ func (db *FootprintDB) Save(path string) error {
 // is what makes it atomic.
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	dir, base := filepath.Split(path)
+	if dir == "" {
+		// A bare filename must keep the temp file in the working
+		// directory: os.CreateTemp("") would fall back to $TMPDIR,
+		// often a different filesystem, and the rename would fail
+		// with EXDEV.
+		dir = "."
+	}
 	f, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return err
@@ -224,6 +231,12 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	if err := f.Sync(); err != nil {
 		return err
 	}
+	// os.CreateTemp creates the file 0600; widen to the usual
+	// umask-style mode so the saved file stays readable by other
+	// processes, as it was with the plain os.Create path.
+	if err := f.Chmod(0o644); err != nil {
+		return err
+	}
 	if err := f.Close(); err != nil {
 		return err
 	}
@@ -231,6 +244,20 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 		return err
 	}
 	tmp = "" // committed; disarm the cleanup
+	// Fsync the directory so the rename itself is durable: callers
+	// (the ingest checkpoint) truncate the WAL as soon as this
+	// returns, and losing the directory entry in a crash while the
+	// truncation survives would silently drop acknowledged batches.
+	if d, err := os.Open(dir); err == nil {
+		syncErr := d.Sync()
+		closeErr := d.Close()
+		if syncErr != nil {
+			return syncErr
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+	}
 	return nil
 }
 

@@ -23,6 +23,7 @@
 package wal
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -331,7 +332,11 @@ func scan(f *os.File, fn func(rec Record) error) (lastLSN uint64, validSize int6
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, 0, 0, err
 	}
-	r := &countingReader{r: f}
+	// The bufio layer turns the two small reads per record (header +
+	// payload) into large sequential file reads; countingReader sits
+	// above it so validSize counts bytes consumed by the scan, not
+	// bytes the buffer read ahead.
+	r := &countingReader{r: bufio.NewReaderSize(f, 1<<20)}
 	hdr := make([]byte, headerSize)
 	var payload []byte
 	for {
