@@ -52,13 +52,17 @@ func main() {
 		var f *os.File
 		if f, err = os.Open(*in); err == nil {
 			ds, err = traj.ReadBinary(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 		}
 	case "text":
 		var f *os.File
 		if f, err = os.Open(*in); err == nil {
 			ds, err = traj.ReadText(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 		}
 	default:
 		log.Fatalf("unknown format %q", *format)

@@ -105,7 +105,7 @@ func feed(args []string) {
 			if err != nil {
 				log.Fatal(err)
 			}
-			resp.Body.Close()
+			_ = resp.Body.Close() // response body fully ignored; status code is the signal
 			if resp.StatusCode == http.StatusAccepted {
 				sent += *batch
 				batches++

@@ -1,0 +1,52 @@
+// Command geolint is the repo's invariant gate: a multichecker that
+// runs every analyzer in internal/lint over the given packages and
+// exits non-zero on any finding. `make check` runs it between vet and
+// the race pass; see internal/lint for what each analyzer enforces and
+// DESIGN.md ("Machine-checked invariants") for the incidents behind
+// them.
+//
+// Usage:
+//
+//	geolint [packages]     # defaults to ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage error.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"geofootprint/internal/lint"
+	"geofootprint/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main, factored for tests: lint the patterns relative to dir,
+// print findings to out, and return the exit status.
+func run(dir string, patterns []string, out, errw io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(errw, "geolint: %v\n", err)
+		return 2
+	}
+	findings, err := lint.Run(pkgs, lint.Analyzers)
+	if err != nil {
+		fmt.Fprintf(errw, "geolint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(errw, "geolint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}
+
+// TestSeededViolationFails proves the gate bites: over a fixture
+// package with known violations, geolint prints findings and exits 1.
+func TestSeededViolationFails(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run(moduleRoot(t), []string{"./internal/lint/testdata/src/floatrange/a"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (seeded violations must fail the gate)\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "floatrange") {
+		t.Errorf("findings output missing analyzer name:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "finding(s)") {
+		t.Errorf("summary line missing:\n%s", errw.String())
+	}
+}
+
+// TestBadPatternExits2 distinguishes load errors from findings.
+func TestBadPatternExits2(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(moduleRoot(t), []string{"./does/not/exist"}, &out, &errw); code != 2 {
+		t.Fatalf("exit code = %d, want 2 for a load error\nstderr:\n%s", code, errw.String())
+	}
+}
+
+// TestCleanPackageExitsZero runs the binary's entry point over a
+// package known clean (the lint framework itself).
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(moduleRoot(t), []string{"./internal/lint/analysis"}, &out, &errw); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+}

@@ -103,7 +103,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close() // status code is the only signal used
 	fmt.Printf("published footprint for customer %d (HTTP %d)\n", newID, resp.StatusCode)
 
 	// The customer is immediately queryable.

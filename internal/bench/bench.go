@@ -63,14 +63,15 @@ func NewWorkload(part string, scale float64, workers int) (*Workload, error) {
 	rois := extract.ExtractDataset(ds, ecfg, workers)
 	w.ExtractSeconds = time.Since(start).Seconds()
 
-	db := &store.FootprintDB{
-		Name:       ds.Name,
-		IDs:        make([]int, len(ds.Users)),
-		Footprints: make([]core.Footprint, len(ds.Users)),
-	}
+	ids := make([]int, len(ds.Users))
+	fps := make([]core.Footprint, len(ds.Users))
 	for i := range ds.Users {
-		db.IDs[i] = ds.Users[i].ID
-		db.Footprints[i] = core.FromRoIs(rois[i], core.UnitWeight)
+		ids[i] = ds.Users[i].ID
+		fps[i] = core.FromRoIs(rois[i], core.UnitWeight)
+	}
+	db, err := store.New(ds.Name, ids, fps)
+	if err != nil {
+		return nil, err
 	}
 	start = time.Now()
 	db.ComputeNorms(workers)

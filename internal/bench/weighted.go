@@ -36,13 +36,13 @@ func WeightedComparison(w *Workload, queries, k int, seed int64) (WeightedResult
 	res := WeightedResult{K: k}
 	// Duration-weighted database over the same RoIs.
 	rois := extract.ExtractDataset(w.Dataset, ExtractionConfig(), 0)
-	wdb := &store.FootprintDB{
-		Name:       w.Dataset.Name + "-weighted",
-		IDs:        append([]int(nil), w.DB.IDs...),
-		Footprints: make([]core.Footprint, len(rois)),
-	}
+	wfps := make([]core.Footprint, len(rois))
 	for i, rs := range rois {
-		wdb.Footprints[i] = core.FromRoIs(rs, core.DurationWeight)
+		wfps[i] = core.FromRoIs(rs, core.DurationWeight)
+	}
+	wdb, err := store.New(w.Dataset.Name+"-weighted", append([]int(nil), w.DB.IDs...), wfps)
+	if err != nil {
+		return res, err
 	}
 	wdb.ComputeNorms(0)
 

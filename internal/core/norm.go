@@ -23,7 +23,10 @@ type event struct {
 // is removed. Tie order between different regions is immaterial: the
 // stripe between equal coordinates has zero width. slices.SortFunc
 // (rather than sort.Slice) keeps the sort allocation-free.
+//
+//geo:hotpath
 func sortEvents(evs []event) {
+	//lint:ignore hotalloc non-escaping comparison closure passed to the generic slices.SortFunc; pinned at 0 allocs by TestSimilarityJoinAllocationFree
 	slices.SortFunc(evs, func(a, b event) int {
 		switch {
 		case a.v < b.v:
@@ -49,9 +52,12 @@ type eventBuf struct{ evs []event }
 
 // acquireEvents returns an empty event buffer with capacity for at
 // least n events; steady-state acquisition allocates nothing.
+//
+//geo:hotpath
 func acquireEvents(n int) *eventBuf {
 	b := eventPool.Get().(*eventBuf)
 	if cap(b.evs) < n {
+		//lint:ignore hotalloc pool refill when a larger buffer is first needed; amortised to zero by the sync.Pool (TestNormSquaredAllocationLean)
 		b.evs = make([]event, 0, n)
 	} else {
 		b.evs = b.evs[:0]
@@ -61,11 +67,14 @@ func acquireEvents(n int) *eventBuf {
 
 // releaseEvents returns a buffer (with its final slice, so grown
 // capacity is retained) to the pool.
+//
+//geo:hotpath
 func releaseEvents(b *eventBuf, evs []event) {
 	b.evs = evs[:0]
 	eventPool.Put(b)
 }
 
+//geo:hotpath
 func footprintEvents(f Footprint, src int8, evs []event) []event {
 	for i, r := range f {
 		evs = append(evs,
@@ -87,6 +96,8 @@ func Norm(f Footprint) float64 {
 // NormSquared returns ||F(r)||², the sum over the disjoint regions X
 // of |X|·f_X² (the quantity ssq of Algorithm 2). It is exposed
 // separately because similarity search accumulates squared norms.
+//
+//geo:hotpath
 func NormSquared(f Footprint) float64 {
 	if len(f) == 0 {
 		return 0

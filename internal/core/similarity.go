@@ -27,6 +27,8 @@ func SimilarityWithNorms(fr, fs Footprint) (sim, normR, normS float64) {
 // SimilaritySweep is Algorithm 3: the plane-sweep similarity
 // computation given precomputed norms (from Algorithm 2). Its cost is
 // O((n+m)²) for footprints with n and m regions.
+//
+//geo:hotpath
 func SimilaritySweep(fr, fs Footprint, normR, normS float64) float64 {
 	denom := normR * normS
 	if denom == 0 {
@@ -46,6 +48,8 @@ func SimilaritySweep(fr, fs Footprint, normR, normS float64) float64 {
 // FromRoIs applies) the sort terms vanish and the join allocates
 // nothing — this is what makes Algorithm 4 run at microsecond scale,
 // the headline of Table 3.
+//
+//geo:hotpath
 func SimilarityJoin(fr, fs Footprint, normR, normS float64) float64 {
 	denom := normR * normS
 	if denom == 0 {
@@ -107,6 +111,8 @@ func IsSortedByMinX(f Footprint) bool {
 // FromRoIs or store.FootprintDB is — and only for externally built,
 // unsorted footprints falls back to a sorted copy (leaving the
 // caller's slice intact).
+//
+//geo:hotpath
 func ensureSorted(f Footprint) Footprint {
 	if IsSortedByMinX(f) {
 		return f
@@ -117,6 +123,7 @@ func ensureSorted(f Footprint) Footprint {
 		// paying a hidden copy+sort here on every call.
 		panic("core: footprint not sorted by MinX (strictsort build)")
 	}
+	//lint:ignore hotalloc cold fallback for externally built unsorted footprints; the sorted fast path above allocates nothing and strictsort builds panic before reaching here
 	g := make(Footprint, len(f))
 	copy(g, f)
 	SortByMinX(g)
@@ -137,6 +144,8 @@ func Numerator(fr, fs Footprint) float64 {
 // two active-interval structures to accumulate the weighted
 // intersection of the stripe (lines 5-17); when withNorms is set it
 // also accumulates both squared norms in the same pass.
+//
+//geo:hotpath
 func sweepNumerator(fr, fs Footprint, withNorms bool) (simn, ssqR, ssqS float64) {
 	if len(fr) == 0 && len(fs) == 0 {
 		return 0, 0, 0

@@ -32,7 +32,6 @@ import (
 	"sync"
 
 	"geofootprint/internal/core"
-	"geofootprint/internal/geom"
 	"geofootprint/internal/search"
 	"geofootprint/internal/store"
 	"geofootprint/internal/topk"
@@ -321,44 +320,12 @@ func mergeParts(parts []*topk.Collector, k int) []search.Result {
 }
 
 // PrecomputeNorms recomputes every user's norm (Algorithm 2) and MBR
-// on the engine's worker pool using a work queue, which load-balances
+// on the engine's worker count using a work queue, which load-balances
 // skewed footprint sizes better than the static chunking of
-// store.ComputeNorms. Use after bulk mutations, before serving.
+// store.ComputeNorms. Use after bulk mutations, before serving. The
+// writes themselves live in store.ComputeNormsBalanced: only
+// internal/store mutates FootprintDB's parallel slices (the
+// sortedfootprint geolint rule).
 func (e *QueryEngine) PrecomputeNorms() {
-	db := e.db
-	n := len(db.Footprints)
-	if len(db.Norms) != n {
-		db.Norms = make([]float64, n)
-	}
-	if len(db.MBRs) != n {
-		db.MBRs = make([]geom.Rect, n)
-	}
-	workers := e.workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i, f := range db.Footprints {
-			db.Norms[i] = core.Norm(f)
-			db.MBRs[i] = f.MBR()
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				db.Norms[i] = core.Norm(db.Footprints[i])
-				db.MBRs[i] = db.Footprints[i].MBR()
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	e.db.ComputeNormsBalanced(e.workers)
 }

@@ -44,6 +44,7 @@ func readSnapshotFile(path, name string) (*store.FootprintDB, State, error) {
 	if err != nil {
 		return nil, State{}, err
 	}
+	//lint:ignore errdiscard read-only snapshot handle; decode errors are surfaced below
 	defer f.Close()
 	r := bufio.NewReader(f)
 	var meta snapMeta

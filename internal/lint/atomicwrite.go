@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"geofootprint/internal/lint/analysis"
+)
+
+// AtomicWrite guards the durability layer's crash-atomicity contract
+// (the PR 3 truncated-checkpoint class: a snapshot written with a raw
+// os.Create could be half on disk when the WAL was reset). In the
+// persistence packages (path segment store, wal or ingest) it flags:
+//
+//   - os.Create and os.WriteFile anywhere outside WriteFileAtomic —
+//     a raw write leaves a torn file under the final name on crash;
+//   - os.Rename outside WriteFileAtomic — rename-based commits belong
+//     in the one audited helper;
+//   - os.Rename inside WriteFileAtomic that is not followed by a
+//     parent-directory fsync — without it the rename itself is not
+//     durable, and a crash can un-commit an acknowledged checkpoint.
+//
+// Append-only file handling (os.OpenFile, as the WAL uses) is out of
+// scope: it has no rename commit point.
+var AtomicWrite = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc: "flag raw file writes (os.Create/os.WriteFile/os.Rename) on persistence paths " +
+		"outside WriteFileAtomic, and renames without a parent-directory fsync",
+	Run: runAtomicWrite,
+}
+
+// atomicHelperName is the one function allowed to perform the
+// tmp-write + fsync + rename + dir-fsync dance.
+const atomicHelperName = "WriteFileAtomic"
+
+func runAtomicWrite(pass *analysis.Pass) error {
+	if !persistencePkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncWrites(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFuncWrites(pass *analysis.Pass, fd *ast.FuncDecl) {
+	inHelper := fd.Name.Name == atomicHelperName
+	var renames []*ast.CallExpr
+	var lastSyncEnd token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch osFuncName(pass.TypesInfo, call) {
+		case "Create", "WriteFile":
+			if !inHelper {
+				pass.Reportf(call.Pos(),
+					"os.%s on a persistence path is not crash-atomic; write through store.%s",
+					osFuncName(pass.TypesInfo, call), atomicHelperName)
+			}
+		case "Rename":
+			if !inHelper {
+				pass.Reportf(call.Pos(),
+					"os.Rename outside %s on a persistence path; rename commits belong in the audited helper",
+					atomicHelperName)
+			} else {
+				renames = append(renames, call)
+			}
+		}
+		if isFileSyncCall(pass.TypesInfo, call) && call.End() > lastSyncEnd {
+			lastSyncEnd = call.End()
+		}
+		return true
+	})
+	for _, r := range renames {
+		if lastSyncEnd <= r.End() {
+			pass.Reportf(r.Pos(),
+				"os.Rename without a parent-directory fsync after it; the rename is not durable until the directory entry is synced")
+		}
+	}
+}
+
+// osFuncName returns the name of the called package-level os function,
+// or "" when the call is not into package os.
+func osFuncName(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return ""
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "" // method on os.File etc., not a package function
+	}
+	return fn.Name()
+}
+
+// isFileSyncCall reports whether the call is (*os.File).Sync — the
+// fsync WriteFileAtomic must issue on the parent directory after its
+// rename.
+func isFileSyncCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOrPointee(sig.Recv().Type())
+	return named != nil && named.Obj().Name() == "File" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "os"
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"geofootprint/internal/lint/analysis"
+)
+
+// ErrDiscard flags silently dropped errors on the calls where a
+// dropped error costs durability or correctness:
+//
+//   - methods named Close or Sync that return an error — a dropped
+//     Close/Sync error is how a full disk or failed flush goes
+//     unnoticed (the write looked acknowledged, the data is gone);
+//   - any error-returning function or method defined in a package
+//     with path segment "wal" — Append, Replay, Reset and friends are
+//     the durability protocol itself.
+//
+// A call is "dropped" when it stands alone as a statement (or behind
+// `go`). `_ = f.Close()` passes: the blank assignment is an explicit,
+// review-visible discard. Deferred calls are flagged only inside the
+// durability packages (store, wal, ingest), where a deferred Close on
+// a written file can swallow the only signal that the write failed;
+// elsewhere `defer f.Close()` on read paths stays idiomatic.
+var ErrDiscard = &analysis.Analyzer{
+	Name: "errdiscard",
+	Doc: "flag discarded errors from Close/Sync and WAL-API calls; " +
+		"handle them or discard explicitly with _ =",
+	Run: runErrDiscard,
+}
+
+func runErrDiscard(pass *analysis.Pass) error {
+	durable := persistencePkg(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscard(pass, call, "")
+				}
+			case *ast.GoStmt:
+				checkDiscard(pass, n.Call, "go ")
+			case *ast.DeferStmt:
+				if durable {
+					checkDiscard(pass, n.Call, "defer ")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDiscard(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return
+	}
+	switch {
+	case fn.Name() == "Close" || fn.Name() == "Sync":
+	case fn.Pkg() != nil && pathHasSegment(fn.Pkg().Path(), "wal"):
+	default:
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error from %s%s is discarded; handle it or assign it explicitly (_ = ...)",
+		how, calleeLabel(fn))
+}
+
+// calleeLabel renders the callee as Recv.Name or pkg.Name for the
+// diagnostic.
+func calleeLabel(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		if named := namedOrPointee(sig.Recv().Type()); named != nil {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

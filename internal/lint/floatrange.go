@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"geofootprint/internal/lint/analysis"
+)
+
+// FloatRange flags floating-point accumulation inside `for range` over
+// a map. Go randomises map iteration order, and float addition is not
+// associative, so the accumulated value drifts by ULPs from run to run
+// — the PR 3 bug class where map-ordered sketch/norm accumulation made
+// recovered databases differ from the uninterrupted run at the last
+// bit. The fix is to accumulate in a canonical order (collect keys,
+// sort, then sum); where a loop is provably order-independent it can
+// be annotated `//lint:deterministic <reason>` on the range statement
+// (or the line above), with the justification mandatory.
+var FloatRange = &analysis.Analyzer{
+	Name: "floatrange",
+	Doc: "flag non-deterministic floating-point accumulation in map iteration order " +
+		"(sort keys first, or annotate //lint:deterministic with a reason)",
+	Run: runFloatRange,
+}
+
+func runFloatRange(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		det := deterministicLines(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !rangesOverMap(pass.TypesInfo, rs) {
+				return true
+			}
+			if line := pass.Fset.Position(rs.Pos()).Line; det[line] || det[line-1] {
+				// The annotation vouches for the whole loop; nested
+				// map ranges inside it are still visited on their own.
+				return true
+			}
+			checkMapLoopBody(pass, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+func rangesOverMap(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapLoopBody reports float accumulations in the loop body. It
+// does not descend into nested map ranges — those are checked (and
+// suppressible) independently.
+func checkMapLoopBody(pass *analysis.Pass, loop *ast.RangeStmt) {
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != loop && rangesOverMap(pass.TypesInfo, inner) {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if len(as.Lhs) == 1 && isFloat(typeOf(pass, as.Lhs[0])) &&
+				!declaredInside(pass, as.Lhs[0], loop) {
+				pass.Reportf(as.Pos(),
+					"floating-point accumulation in map iteration order is non-deterministic (ULP drift); "+
+						"iterate over sorted keys or annotate the loop //lint:deterministic with a reason")
+			}
+		case token.ASSIGN:
+			// x = x + e (or -, *, /) spelled out.
+			if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			lhs := as.Lhs[0]
+			if !isFloat(typeOf(pass, lhs)) || declaredInside(pass, lhs, loop) {
+				return true
+			}
+			if accumulatesInto(pass, lhs, as.Rhs[0]) {
+				pass.Reportf(as.Pos(),
+					"floating-point accumulation in map iteration order is non-deterministic (ULP drift); "+
+						"iterate over sorted keys or annotate the loop //lint:deterministic with a reason")
+			}
+		}
+		return true
+	})
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return types.Typ[types.Invalid]
+	}
+	return t
+}
+
+// declaredInside reports whether the written variable is declared
+// within the loop itself (iteration variables or body-local
+// accumulators reset each iteration), which makes the accumulation
+// order-independent across iterations.
+func declaredInside(pass *analysis.Pass, lhs ast.Expr, loop *ast.RangeStmt) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= loop.Pos() && obj.Pos() < loop.End()
+}
+
+// accumulatesInto reports whether rhs is a binary arithmetic
+// expression with lhs as a direct operand (the spelled-out `x = x + e`
+// accumulation shape).
+func accumulatesInto(pass *analysis.Pass, lhs ast.Expr, rhs ast.Expr) bool {
+	be, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	want := types.ExprString(ast.Unparen(lhs))
+	if types.ExprString(ast.Unparen(be.X)) == want {
+		return true
+	}
+	// For commutative operators the accumulator may sit on the right.
+	if be.Op == token.ADD || be.Op == token.MUL {
+		return types.ExprString(ast.Unparen(be.Y)) == want
+	}
+	return false
+}
+
+// deterministicLines maps source lines carrying a valid
+// `//lint:deterministic <reason>` annotation.
+func deterministicLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:deterministic")
+			if !ok || strings.TrimSpace(text) == "" {
+				continue // justification is mandatory
+			}
+			out[fset.Position(c.Pos()).Line] = true
+		}
+	}
+	return out
+}

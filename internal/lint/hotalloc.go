@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"geofootprint/internal/lint/analysis"
+)
+
+// HotAlloc guards the 0-alloc kernels pinned by the AllocsPerRun
+// regression tests since PR 1 (SimilarityJoin, the Algorithm 2/3
+// sweeps, the sketch dot, the top-k heaps). A function opts in with a
+// `//geo:hotpath` line in its doc comment; inside such a function the
+// analyzer statically flags the common allocation sources:
+//
+//   - calls into package fmt (every fmt call allocates);
+//   - closure literals (captures may force a heap allocation);
+//   - address-taken composite literals (&T{...} escapes);
+//   - make and new (fresh allocations; hot paths draw from pools or
+//     caller-provided buffers);
+//   - append to a slice declared in the same function without
+//     capacity (guaranteed growth reallocations).
+//
+// The escape analysis here is deliberately conservative — it flags
+// syntactic allocation sites, not proven escapes. Sites the compiler
+// provably keeps on the stack (e.g. non-escaping sort closures) carry
+// a //lint:ignore hotalloc justification referencing the AllocsPerRun
+// test that pins them.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flag allocation sources (fmt, closures, &T{}, make/new, growing append) " +
+		"inside functions marked //geo:hotpath",
+	Run: runHotAlloc,
+}
+
+// hotPathMarker tags a function whose allocation behaviour is pinned.
+const hotPathMarker = "//geo:hotpath"
+
+func runHotAlloc(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isHotPath reports whether the function's doc comment carries the
+// //geo:hotpath marker. Directive-style comments are stripped by
+// CommentGroup.Text, so the raw comment list is scanned.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotPathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	uncapped := uncappedSlices(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"closure literal in //geo:hotpath function %s may heap-allocate its captures", fd.Name.Name)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(),
+						"address-taken composite literal escapes in //geo:hotpath function %s", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.TypesInfo, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				pass.Reportf(n.Pos(),
+					"fmt.%s allocates in //geo:hotpath function %s", fn.Name(), fd.Name.Name)
+				return true
+			}
+			if isBuiltin(pass.TypesInfo, n, "make") || isBuiltin(pass.TypesInfo, n, "new") {
+				pass.Reportf(n.Pos(),
+					"%s allocates in //geo:hotpath function %s; use a pooled or caller-provided buffer",
+					ast.Unparen(n.Fun).(*ast.Ident).Name, fd.Name.Name)
+				return true
+			}
+			if isBuiltin(pass.TypesInfo, n, "append") && len(n.Args) > 0 {
+				if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil && uncapped[obj] {
+						pass.Reportf(n.Pos(),
+							"append grows %s, declared without capacity, in //geo:hotpath function %s; preallocate with make(..., 0, n)",
+							id.Name, fd.Name.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// uncappedSlices collects slice variables declared inside fd with no
+// capacity — `var s []T` or `s := []T{}` — whose growth through append
+// is a guaranteed reallocation. Slices built with make (any form) or
+// arriving as parameters are assumed deliberately sized.
+func uncappedSlices(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	mark := func(id *ast.Ident) {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					mark(name)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if cl, ok := ast.Unparen(n.Rhs[i]).(*ast.CompositeLit); ok && len(cl.Elts) == 0 {
+					mark(id)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,256 @@
+// Package lint is geolint: the suite of custom analyzers that machine-
+// check the invariants this repo's correctness and performance rest
+// on, so that rules which previously lived in review comments fail
+// `make check` instead. Each analyzer encodes one incident or one
+// pinned property:
+//
+//   - floatrange      — PR 3's ULP-drift bug class: float accumulation
+//     in map iteration order is non-deterministic.
+//   - atomicwrite     — PR 3's truncated-checkpoint bug class: raw
+//     file writes on persistence paths bypass WriteFileAtomic.
+//   - hotalloc        — PR 1's 0-alloc kernels: allocation sources in
+//     //geo:hotpath functions.
+//   - sortedfootprint — PR 2's strictsort invariant: direct writes to
+//     FootprintDB's parallel slices outside internal/store.
+//   - errdiscard      — dropped errors from Sync/Close and the WAL
+//     API on durability paths.
+//
+// Suppression: a diagnostic is suppressed by a comment
+// `//lint:ignore <analyzer> <reason>` on the offending line or the
+// line above. The reason is mandatory — a bare directive suppresses
+// nothing — so every suppression is self-justifying, which `make
+// check` effectively enforces repo-wide. floatrange additionally
+// honours `//lint:deterministic <reason>` on a range statement (see
+// floatrange.go).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"geofootprint/internal/lint/analysis"
+	"geofootprint/internal/lint/loader"
+)
+
+// Analyzers is the full geolint suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	FloatRange,
+	AtomicWrite,
+	HotAlloc,
+	SortedFootprint,
+	ErrDiscard,
+}
+
+// Finding is one surfaced (non-suppressed) diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. Suppression directives are applied
+// centrally so all analyzers share one mechanism.
+func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var all []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			fs, err := RunOne(pkg, a)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, fs...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}
+
+// RunOne applies a single analyzer to a single package, returning the
+// findings that survive //lint:ignore suppression. Duplicate reports
+// at the same position are collapsed.
+func RunOne(pkg *loader.Package, a *analysis.Analyzer) ([]Finding, error) {
+	sup := newSuppressions(pkg.Fset, pkg.Files)
+	var out []Finding
+	seen := make(map[string]bool)
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if sup.suppressed(a.Name, pos) {
+				return
+			}
+			key := fmt.Sprintf("%s:%d:%d:%s", pos.Filename, pos.Line, pos.Column, d.Message)
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			out = append(out, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
+	}
+	return out, nil
+}
+
+// suppressions indexes //lint:ignore directives by file and line.
+type suppressions struct {
+	fset *token.FileSet
+	// byLine maps filename → line → analyzer names ignored there.
+	byLine map[string]map[int][]string
+}
+
+func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{fset: fset, byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := s.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					s.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], name)
+			}
+		}
+	}
+	return s
+}
+
+// parseIgnore recognises `//lint:ignore <analyzer> <reason>` and
+// returns the analyzer name. A directive without a reason is invalid
+// and ignored: suppressions must carry their justification.
+func parseIgnore(comment string) (string, bool) {
+	text, ok := strings.CutPrefix(comment, "//lint:ignore")
+	if !ok {
+		return "", false
+	}
+	fields := strings.Fields(text)
+	if len(fields) < 2 { // analyzer name plus at least one reason word
+		return "", false
+	}
+	return fields[0], true
+}
+
+// suppressed reports whether a directive for the analyzer sits on the
+// diagnostic's line or the line directly above it.
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	m := s.byLine[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range m[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- shared helpers used by several analyzers ----
+
+// pathHasSegment reports whether importPath contains seg as a whole
+// path segment (e.g. "geofootprint/internal/store" has "store").
+func pathHasSegment(importPath, seg string) bool {
+	for _, s := range strings.Split(importPath, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// persistencePkg reports whether the package is part of the durability
+// layer, where atomicwrite applies and errdiscard also checks defers.
+func persistencePkg(importPath string) bool {
+	return pathHasSegment(importPath, "store") ||
+		pathHasSegment(importPath, "wal") ||
+		pathHasSegment(importPath, "ingest")
+}
+
+// calleeFunc resolves the called function or method of a call
+// expression, or nil for builtins, conversions and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// returnsError reports whether the function signature includes an
+// error result.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// isFloat reports whether t is a floating-point type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// namedOrPointee unwraps pointers and returns the named type, if any.
+func namedOrPointee(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

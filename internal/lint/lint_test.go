@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"geofootprint/internal/lint"
+	"geofootprint/internal/lint/analysistest"
+)
+
+func TestFloatRange(t *testing.T) {
+	analysistest.Run(t, lint.FloatRange,
+		"./internal/lint/testdata/src/floatrange/a")
+}
+
+func TestAtomicWrite(t *testing.T) {
+	analysistest.Run(t, lint.AtomicWrite,
+		"./internal/lint/testdata/src/atomicwrite/store",
+		"./internal/lint/testdata/src/atomicwrite/wal",
+		"./internal/lint/testdata/src/atomicwrite/other")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, lint.HotAlloc,
+		"./internal/lint/testdata/src/hotalloc/a")
+}
+
+func TestSortedFootprint(t *testing.T) {
+	analysistest.Run(t, lint.SortedFootprint,
+		"./internal/lint/testdata/src/sortedfootprint/a")
+}
+
+func TestErrDiscard(t *testing.T) {
+	analysistest.Run(t, lint.ErrDiscard,
+		"./internal/lint/testdata/src/errdiscard/wal",
+		"./internal/lint/testdata/src/errdiscard/app")
+}

@@ -1,0 +1,145 @@
+// Package loader type-checks Go packages for geolint without any
+// dependency outside the standard library.
+//
+// It shells out to `go list -export -json -deps`, which both resolves
+// the package graph and compiles export data for every dependency into
+// the build cache. The requested (root) packages are then parsed and
+// type-checked from source — geolint needs their ASTs — while every
+// import is satisfied from the compiler's export data via
+// go/importer's gc lookup mode. This is the same division of labour as
+// golang.org/x/tools/go/packages in LoadSyntax mode, implemented on
+// stdlib only.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked root package.
+type Package struct {
+	Path  string // import path
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // non-test Go files, parsed with comments
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Incomplete bool
+	Error      *listErr
+	DepsErrors []*listErr
+}
+
+type listErr struct {
+	Err string
+}
+
+// Load lists, parses, and type-checks the packages matched by patterns,
+// resolved relative to dir (the module root or any directory inside
+// it). Test files are deliberately excluded: geolint gates production
+// code; tests create scratch files and drop errors legitimately.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var roots []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("loader: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			roots = append(roots, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, r := range roots {
+		if len(r.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(r.GoFiles))
+		for _, gf := range r.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(r.Dir, gf), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("loader: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(r.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("loader: type-checking %s: %v", r.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  r.ImportPath,
+			Name:  r.Name,
+			Dir:   r.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}

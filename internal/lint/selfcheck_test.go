@@ -1,0 +1,34 @@
+package lint_test
+
+import (
+	"testing"
+
+	"geofootprint/internal/lint"
+	"geofootprint/internal/lint/analysistest"
+	"geofootprint/internal/lint/loader"
+)
+
+// TestRepoClean is the gate behind `make check`'s geolint pass in test
+// form: the whole module (testdata fixtures excluded by ./... as
+// usual) must be clean under every analyzer. A failure here prints
+// the exact findings a `go run ./cmd/geolint ./...` would.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-repo lint in -short mode (compiles every package)")
+	}
+	root := analysistest.ModuleRoot(t)
+	pkgs, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading ./...: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader matched no packages")
+	}
+	findings, err := lint.Run(pkgs, lint.Analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+
+	"geofootprint/internal/lint/analysis"
+)
+
+// SortedFootprint makes the store invariants a compile-time report
+// instead of (only) a `-tags strictsort` runtime panic. FootprintDB's
+// parallel slices — IDs, Footprints, Norms, MBRs, Sketches — are kept
+// index-aligned, MinX-sorted (Footprints) and norm/sketch-consistent
+// by the store mutation API (Upsert, AppendRoIs, Remove, Merge,
+// Compact, ComputeNorms). A direct write from any other package can
+// silently break the sorted fast path of Algorithm 4 or desynchronise
+// norms from footprints, so the analyzer flags, outside FootprintDB's
+// defining package:
+//
+//   - assignments through db.<slice> (including element and
+//     sub-element writes and compound assignment);
+//   - append with db.<slice> as the destination.
+//
+// Reads — indexing, ranging, passing slices to the similarity kernels
+// — are untouched.
+var SortedFootprint = &analysis.Analyzer{
+	Name: "sortedfootprint",
+	Doc: "flag direct writes to FootprintDB's parallel slices outside internal/store; " +
+		"mutations must go through the invariant-preserving store API",
+	Run: runSortedFootprint,
+}
+
+// dbSliceFields are the invariant-bearing parallel slices of
+// store.FootprintDB.
+var dbSliceFields = map[string]bool{
+	"IDs":        true,
+	"Footprints": true,
+	"Norms":      true,
+	"MBRs":       true,
+	"Sketches":   true,
+}
+
+func runSortedFootprint(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					reportDBWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				reportDBWrite(pass, n.X)
+			case *ast.CallExpr:
+				if isBuiltin(pass.TypesInfo, n, "append") && len(n.Args) > 0 {
+					reportDBWrite(pass, n.Args[0])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportDBWrite flags e when it writes into a FootprintDB parallel
+// slice defined outside the current package.
+func reportDBWrite(pass *analysis.Pass, e ast.Expr) {
+	sel := dbSliceSelector(pass, e)
+	if sel == nil {
+		return
+	}
+	pass.Reportf(e.Pos(),
+		"direct write to FootprintDB.%s outside its defining package bypasses the MinX-sorted/aligned-slices invariant; use the store mutation API",
+		sel.Sel.Name)
+}
+
+// dbSliceSelector peels indexing/slicing/derefs off e and returns the
+// underlying db.<slice> selector when db is a store.FootprintDB from
+// another package.
+func dbSliceSelector(pass *analysis.Pass, e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if dbSliceFields[x.Sel.Name] && isForeignFootprintDB(pass, x) {
+				return x
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isForeignFootprintDB(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	named := namedOrPointee(t)
+	if named == nil || named.Obj().Name() != "FootprintDB" {
+		return false
+	}
+	return named.Obj().Pkg() != nil && named.Obj().Pkg() != pass.Pkg
+}

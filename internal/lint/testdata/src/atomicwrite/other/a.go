@@ -1,0 +1,14 @@
+// Package other is the atomicwrite negative fixture: it is not a
+// persistence package (no store/wal/ingest path segment), so raw os
+// writes are out of the analyzer's scope.
+package other
+
+import "os"
+
+// Dump writes a scratch file; fine outside the durability layer.
+func Dump(path string, b []byte) error {
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(path, path+".done")
+}

@@ -1,0 +1,70 @@
+// Package store is the atomicwrite fixture for a persistence package
+// (its import path ends in the segment "store"): raw os writes are
+// flagged outside WriteFileAtomic, and the compliant helper — rename
+// followed by a parent-directory fsync — passes.
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// SaveRaw commits state with raw writes: every call is a torn-file
+// hazard.
+func SaveRaw(path string, b []byte) error {
+	f, err := os.Create(path) // want `os.Create on a persistence path is not crash-atomic`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.WriteFile(path+".meta", b, 0o644) // want `os.WriteFile on a persistence path is not crash-atomic`
+}
+
+// Promote renames outside the audited helper.
+func Promote(tmp, final string) error {
+	return os.Rename(tmp, final) // want `os.Rename outside WriteFileAtomic`
+}
+
+// WriteFileAtomic is the compliant shape: temp file, fsync, rename,
+// parent-directory fsync. Nothing to flag.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	f, err := os.CreateTemp(".", "tmp*")
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(".")
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// Suppressed: a justified //lint:ignore is honoured.
+func Suppressed(path string) error {
+	//lint:ignore atomicwrite scratch debug dump, never read back after a crash
+	return os.WriteFile(path, nil, 0o600)
+}

@@ -1,0 +1,30 @@
+// Package wal is the atomicwrite fixture for the rename-durability
+// rule: a WriteFileAtomic whose rename is not followed by a
+// parent-directory fsync is flagged even inside the helper.
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// WriteFileAtomic fsyncs the file but forgets the directory: the
+// rename itself is not durable.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	f, err := os.CreateTemp(".", "tmp*")
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path) // want `os.Rename without a parent-directory fsync`
+}

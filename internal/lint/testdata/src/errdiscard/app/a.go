@@ -1,0 +1,32 @@
+// Package app is the errdiscard fixture for a non-durability package:
+// bare Close/Sync statements still fire, but deferred closes on read
+// paths stay idiomatic and unflagged.
+package app
+
+import "os"
+
+// Report drops a Close in statement position: flagged everywhere.
+func Report(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	f.Close() // want `error from File.Close is discarded`
+	return nil
+}
+
+// ReadAll uses the idiomatic deferred close on a read-only file: not a
+// durability package, so the defer is fine.
+func ReadAll(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}

@@ -1,0 +1,38 @@
+// Package wal is the errdiscard fixture for a durability package (its
+// import path ends in the segment "wal"): dropped Close/Sync and
+// WAL-API errors are flagged, including deferred ones.
+package wal
+
+import (
+	"os"
+
+	realwal "geofootprint/internal/wal"
+)
+
+// Flush drops every durability signal.
+func Flush(f *os.File, l *realwal.Log, payload []byte) {
+	f.Sync()           // want `error from File.Sync is discarded`
+	f.Close()          // want `error from File.Close is discarded`
+	l.Append(payload)  // want `error from Log.Append is discarded`
+	l.Reset()          // want `error from Log.Reset is discarded`
+	go l.Sync()        // want `error from go Log.Sync is discarded`
+	defer l.Close()    // want `error from defer Log.Close is discarded`
+}
+
+// Handled returns or explicitly discards every error: nothing fires.
+func Handled(f *os.File, l *realwal.Log, payload []byte) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if _, err := l.Append(payload); err != nil {
+		return err
+	}
+	_ = f.Close() // explicit, review-visible discard
+	return l.Close()
+}
+
+// Suppressed carries a justification for an intentional drop.
+func Suppressed(f *os.File) {
+	//lint:ignore errdiscard read-only handle, close error carries no data-loss signal
+	f.Close()
+}

@@ -1,0 +1,97 @@
+// Package a is the floatrange fixture: float accumulation in map
+// iteration order must be flagged; sorted-key iteration, integer
+// accumulation, body-local accumulators and annotated loops must not.
+package a
+
+import "sort"
+
+// SumCompound accumulates with += directly in map order.
+func SumCompound(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `floating-point accumulation in map iteration order`
+	}
+	return s
+}
+
+// SumSpelled accumulates with the spelled-out form, accumulator on
+// either side of a commutative operator.
+func SumSpelled(m map[int]float64) (float64, float64) {
+	var s, p float64
+	p = 1
+	for k, v := range m {
+		s = s + float64(k) // want `floating-point accumulation in map iteration order`
+		p = v * p          // want `floating-point accumulation in map iteration order`
+	}
+	return s, p
+}
+
+// SumNested: the accumulation sits in a slice loop nested inside the
+// map loop — still map-ordered overall.
+func SumNested(m map[string][]float64) float64 {
+	var s float64
+	for _, vs := range m {
+		for _, v := range vs {
+			s -= v // want `floating-point accumulation in map iteration order`
+		}
+	}
+	return s
+}
+
+// SumSorted is the canonical fix: collect keys, sort, accumulate in
+// key order. Nothing to flag — the float loop ranges over a slice.
+func SumSorted(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// CountInts: integer accumulation is exact in any order.
+func CountInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// LocalAccumulator: the accumulator is reset every iteration, so map
+// order cannot leak into any value that outlives the loop body.
+func LocalAccumulator(m map[string][]float64, out map[string]float64) {
+	for k, vs := range m { // map-ordered writes of per-key values are fine
+		var rowSum float64
+		for _, v := range vs {
+			rowSum += v
+		}
+		out[k] = rowSum
+	}
+}
+
+// Annotated: the loop adds the same constant for every key, so the
+// result is order-independent; the annotation records the argument.
+func Annotated(m map[string]float64) float64 {
+	var s float64
+	//lint:deterministic every term is the constant 1, so order cannot change the sum
+	for range m {
+		s += 1
+	}
+	return s
+}
+
+// BareAnnotation: a //lint:deterministic with no justification does
+// not suppress.
+func BareAnnotation(m map[string]float64) float64 {
+	var s float64
+	//lint:deterministic
+	for _, v := range m {
+		s += v // want `floating-point accumulation in map iteration order`
+	}
+	return s
+}

@@ -1,0 +1,73 @@
+// Package a is the hotalloc fixture: allocation sources inside
+// //geo:hotpath functions are flagged; the same constructs in
+// unmarked functions, and preallocated or suppressed sites in marked
+// ones, are not.
+package a
+
+import "fmt"
+
+// Kernel is the positive case: every statically visible allocation
+// source fires.
+//
+//geo:hotpath
+func Kernel(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	_ = fmt.Sprintf("sum=%v", s) // want `fmt.Sprintf allocates in //geo:hotpath function Kernel`
+	cb := func() float64 { return s } // want `closure literal in //geo:hotpath function Kernel`
+	p := &point{x: s}                 // want `address-taken composite literal escapes in //geo:hotpath function Kernel`
+	buf := make([]float64, 0, 8)      // want `make allocates in //geo:hotpath function Kernel`
+	buf = append(buf, cb(), p.x)
+	var grow []float64
+	grow = append(grow, s) // want `append grows grow, declared without capacity, in //geo:hotpath function Kernel`
+	return grow[0] + buf[0]
+}
+
+type point struct{ x float64 }
+
+// Cold has the same shapes but no marker: out of scope.
+func Cold(xs []float64) string {
+	var grow []float64
+	grow = append(grow, xs...)
+	f := func() int { return len(grow) }
+	return fmt.Sprint(f())
+}
+
+// Pinned is a hot function whose one closure is provably
+// stack-allocated and pinned by an AllocsPerRun test; the suppression
+// carries that justification.
+//
+//geo:hotpath
+func Pinned(xs []float64, lo float64) int {
+	n := 0
+	for _, x := range xs {
+		if x >= lo {
+			n++
+		}
+	}
+	//lint:ignore hotalloc non-escaping comparison closure, stack-allocated; pinned at 0 allocs by the fixture's imaginary alloc test
+	cmp := func(a, b float64) bool { return a < b }
+	if cmp(lo, 0) {
+		return -n
+	}
+	return n
+}
+
+// PreSized appends only into caller-provided or make-sized slices:
+// nothing fires on the append rule (the make itself is the only
+// report).
+//
+//geo:hotpath
+func PreSized(dst []float64, xs []float64) []float64 {
+	for _, x := range xs {
+		dst = append(dst, x)
+	}
+	tmp := make([]float64, 0, len(xs)) // want `make allocates in //geo:hotpath function PreSized`
+	tmp = append(tmp, xs...)
+	if len(tmp) > 0 {
+		return tmp
+	}
+	return dst
+}

@@ -215,6 +215,8 @@ func spanOverlap(a, b, lo, cell float64, i, g int) float64 {
 // Params. It is an allocation-free two-pointer merge over the sorted
 // occupied-cell lists — the hot kernel of the filter step, pinned at
 // 0 allocs/op by a regression test.
+//
+//geo:hotpath
 func Dot(a, b *Sketch) float64 {
 	var dot float64
 	i, j := 0, 0
@@ -239,6 +241,8 @@ func Dot(a, b *Sketch) float64 {
 // dot/(normA·normB), clipped to [0, 1] — by Cauchy–Schwarz the exact
 // value never exceeds 1, so the clip only absorbs round-off. Either
 // norm vanishing means similarity 0 by definition.
+//
+//geo:hotpath
 func UpperBound(dot, normA, normB float64) float64 {
 	denom := normA * normB
 	if denom == 0 {

@@ -79,6 +79,21 @@ func Build(d *traj.Dataset, cfg extract.Config, w core.Weighting, workers int) (
 // as given and sorted by Rect.MinX in place (region order carries no
 // meaning); pass copies if the caller depends on its ordering.
 func FromFootprints(name string, ids []int, fps []core.Footprint) (*FootprintDB, error) {
+	db, err := New(name, ids, fps)
+	if err != nil {
+		return nil, err
+	}
+	db.ComputeNorms(0)
+	return db, nil
+}
+
+// New assembles a database from per-user footprints without computing
+// norms or MBRs — the two-phase form of FromFootprints for callers
+// that meter or parallelise the norm pass themselves (the bench
+// harness times extraction and norm computation separately). The
+// MinX-sorted invariant is established here; the database is not
+// servable until ComputeNorms has run.
+func New(name string, ids []int, fps []core.Footprint) (*FootprintDB, error) {
 	if len(ids) != len(fps) {
 		return nil, fmt.Errorf("store: %d ids for %d footprints", len(ids), len(fps))
 	}
@@ -87,9 +102,7 @@ func FromFootprints(name string, ids []int, fps []core.Footprint) (*FootprintDB,
 			core.SortByMinX(f)
 		}
 	}
-	db := &FootprintDB{Name: name, IDs: ids, Footprints: fps}
-	db.ComputeNorms(0)
-	return db, nil
+	return &FootprintDB{Name: name, IDs: ids, Footprints: fps}, nil
 }
 
 // ComputeNorms (re)computes the norm and MBR of every footprint, in
@@ -130,6 +143,54 @@ func (db *FootprintDB) ComputeNorms(workers int) {
 			}
 		}(lo, hi)
 	}
+	wg.Wait()
+}
+
+// ComputeNormsBalanced recomputes every norm and MBR like
+// ComputeNorms, but distributes users over a work queue instead of
+// static chunks, which load-balances skewed footprint sizes (one user
+// with a huge footprint no longer serialises its whole chunk). The
+// query engine's PrecomputeNorms delegates here: keeping the writes in
+// this package preserves the rule — enforced by geolint's
+// sortedfootprint analyzer — that only internal/store mutates the
+// parallel slices.
+func (db *FootprintDB) ComputeNormsBalanced(workers int) {
+	n := len(db.Footprints)
+	if len(db.Norms) != n {
+		db.Norms = make([]float64, n)
+	}
+	if len(db.MBRs) != n {
+		db.MBRs = make([]geom.Rect, n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, f := range db.Footprints {
+			db.Norms[i] = core.Norm(f)
+			db.MBRs[i] = f.MBR()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				db.Norms[i] = core.Norm(db.Footprints[i])
+				db.MBRs[i] = db.Footprints[i].MBR()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
 	wg.Wait()
 }
 
@@ -217,7 +278,7 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	tmp := f.Name()
 	defer func() {
 		if tmp != "" {
-			f.Close()
+			_ = f.Close() // cleanup of an already-failed write
 			os.Remove(tmp)
 		}
 	}()
@@ -296,6 +357,7 @@ func Load(path string) (*FootprintDB, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore errdiscard read-only load handle; decode errors are surfaced by DecodeFrom
 	defer f.Close()
 	return DecodeFrom(bufio.NewReader(f), path)
 }

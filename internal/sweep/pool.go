@@ -13,6 +13,8 @@ var pool = sync.Pool{New: func() interface{} { return New() }}
 // Acquire returns an empty CoverageList from the package pool. The
 // list is reset; its entry slice keeps the capacity it grew to in
 // earlier uses, so steady-state acquisition allocates nothing.
+//
+//geo:hotpath
 func Acquire() *CoverageList {
 	d := pool.Get().(*CoverageList)
 	d.Reset()
@@ -21,6 +23,8 @@ func Acquire() *CoverageList {
 
 // Release returns a list obtained from Acquire to the pool. The caller
 // must not use the list afterwards.
+//
+//geo:hotpath
 func Release(d *CoverageList) {
 	pool.Put(d)
 }

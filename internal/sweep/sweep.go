@@ -60,9 +60,12 @@ func (d *CoverageList) Entries() []Entry { return d.entries }
 // Insert processes a Start event of a rectangle whose projection on
 // the non-sweep axis is [lo, hi], adding weight w to every covered
 // interval (Algorithm 2 lines 7-14).
+//
+//geo:hotpath
 func (d *CoverageList) Insert(lo, hi, w float64) {
 	// j: the last entry with Start <= lo (the sentinel guarantees
 	// one exists).
+	//lint:ignore hotalloc non-escaping predicate closure consumed by sort.Search; pinned at 0 allocs by the package AllocsPerRun tests
 	j := sort.Search(len(d.entries), func(i int) bool { return d.entries[i].Start > lo }) - 1
 	// Insert the new lower breakpoint right after j with the
 	// covering interval's count plus w.
@@ -82,9 +85,12 @@ func (d *CoverageList) Insert(lo, hi, w float64) {
 // Remove processes an End event of a rectangle with projection
 // [lo, hi] and weight w (Algorithm 2 lines 15-23). The rectangle must
 // have been inserted earlier with the same bounds and weight.
+//
+//geo:hotpath
 func (d *CoverageList) Remove(lo, hi, w float64) {
 	// The first entry with Start == lo; positional removal (see the
 	// package comment).
+	//lint:ignore hotalloc non-escaping predicate closure consumed by sort.Search; pinned at 0 allocs by the package AllocsPerRun tests
 	j := sort.Search(len(d.entries), func(i int) bool { return d.entries[i].Start >= lo })
 	if j == len(d.entries) || d.entries[j].Start != lo {
 		panic("sweep: Remove of a boundary that was never inserted")
@@ -107,6 +113,8 @@ func (d *CoverageList) Remove(lo, hi, w float64) {
 // Σ (next.Start − Start) · Count² across all intervals. Multiplied by
 // a stripe width it is the stripe's contribution to the squared norm
 // (Algorithm 2 lines 4-6).
+//
+//geo:hotpath
 func (d *CoverageList) SumSquares() float64 {
 	var s float64
 	for i := 0; i+1 < len(d.entries); i++ {
@@ -139,6 +147,8 @@ func (d *CoverageList) Segments(f func(lo, hi, count float64)) {
 // is the merge-join of Algorithm 3 lines 5-17, which computes the
 // weighted intersection of the disjoint regions of the two footprints
 // within the current stripe.
+//
+//geo:hotpath
 func IntegrateProduct(a, b *CoverageList) float64 {
 	ea, eb := a.entries, b.entries
 	i, j := 0, 0
@@ -173,12 +183,20 @@ func IntegrateProduct(a, b *CoverageList) float64 {
 	}
 }
 
+// insertAt shifts the tail up and writes e at i. The append grows the
+// pooled entry slice only until it reaches its high-water capacity;
+// steady state reuses it.
+//
+//geo:hotpath
 func (d *CoverageList) insertAt(i int, e Entry) {
 	d.entries = append(d.entries, Entry{})
 	copy(d.entries[i+1:], d.entries[i:])
 	d.entries[i] = e
 }
 
+// removeAt closes the gap at i, retaining capacity.
+//
+//geo:hotpath
 func (d *CoverageList) removeAt(i int) {
 	copy(d.entries[i:], d.entries[i+1:])
 	d.entries = d.entries[:len(d.entries)-1]

@@ -40,7 +40,11 @@ func New(k int) *Collector {
 	return &Collector{k: k}
 }
 
-// Offer considers one result for inclusion.
+// Offer considers one result for inclusion. Steady state (collector
+// full) is allocation-free: a candidate either loses against the heap
+// root or replaces it in place; only the first k offers grow the heap.
+//
+//geo:hotpath
 func (c *Collector) Offer(id int, score float64) {
 	r := Result{ID: id, Score: score}
 	if len(c.items) < c.k {
@@ -56,6 +60,8 @@ func (c *Collector) Offer(id int, score float64) {
 // Threshold returns the score of the current k-th result, or -Inf when
 // fewer than k results have been offered. A candidate strictly below
 // the threshold cannot enter the collector.
+//
+//geo:hotpath
 func (c *Collector) Threshold() float64 {
 	if len(c.items) < c.k {
 		return math.Inf(-1)

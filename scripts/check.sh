@@ -1,22 +1,45 @@
 #!/usr/bin/env sh
 # Repo-wide static + concurrency checks. `make check` runs this.
 #
-# The race pass covers the packages that execute or consume parallel
-# code paths: the query engine, the search layer it shards, and the
-# HTTP server that serves concurrent requests through it.
+# Order: cheap static analysis first (vet, then the repo's own
+# analyzers), then builds, then the race detector and the test suite.
 set -eu
 cd "$(dirname "$0")/.."
 
 echo "== go vet ./... =="
 go vet ./...
 
+# Focused copylocks pass over the packages that embed or hand around
+# sync primitives (pools, WAL/server mutexes). go vet's default suite
+# already includes copylocks; running it alone here makes the gate's
+# intent explicit and keeps a hook for extra lock analyzers. On
+# toolchains where per-analyzer flags are unavailable, build the
+# standalone analyzer and run `go vet -vettool=$(which copylocks)`
+# instead.
+echo "== go vet -copylocks (store, wal, ingest, server, engine, sweep, core) =="
+go vet -copylocks ./internal/store/... ./internal/wal/... ./internal/ingest/... \
+	./internal/server/... ./internal/engine/... ./internal/sweep/... ./internal/core/...
+
+# Repo-local analyzers: floatrange (map-order float accumulation),
+# atomicwrite (persistence writes outside WriteFileAtomic), hotalloc
+# (allocation in //geo:hotpath kernels), sortedfootprint (FootprintDB
+# slice writes outside internal/store), errdiscard (dropped
+# Sync/Close/WAL errors). Any finding fails the gate; suppressions
+# need an inline justification.
+echo "== geolint ./... =="
+go run ./cmd/geolint ./...
+
 echo "== go build ./... =="
 go build ./...
 
-echo "== go test -race (engine, search, server, store, sweep, core, sketch, ingest, wal) =="
-go test -race ./internal/engine/... ./internal/search/... ./internal/server/... \
-	./internal/store/... ./internal/sweep/... ./internal/core/... \
-	./internal/sketch/... ./internal/ingest/... ./internal/wal/...
+# The strictsort build must stay compilable on its own: it is the
+# build operators deploy when they want unsorted-footprint leaks to
+# panic instead of silently costing a copy+sort per similarity call.
+echo "== go build -tags strictsort ./... =="
+go build -tags strictsort ./...
+
+echo "== go test -race ./... =="
+go test -race ./...
 
 echo "== go test ./... =="
 go test ./...
