@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check test lint race bench-fig3a bench-sketch bench-ingest benchdiff clean
+.PHONY: check test lint race chaos bench-fig3a bench-sketch bench-ingest benchdiff clean
 
 check:
 	./scripts/check.sh
@@ -25,6 +25,15 @@ lint:
 # package ever has to be carved out, list it here with the reason.
 race:
 	$(GO) test -race ./...
+
+# Fault-injection and crash-recovery suite: every test that drives the
+# durability layer through a faultfs schedule (ENOSPC, EIO, short
+# writes, torn renames), tears WAL tails, or kills/seals the pipeline
+# mid-flight. Run under -race because the interesting failures here
+# are exactly the racy ones.
+chaos:
+	$(GO) test -race -run '(Fault|Chaos|Crash|Seal)' \
+		./internal/faultfs/... ./internal/wal/... ./internal/ingest/... ./internal/server/...
 
 # Regenerate the committed BENCH_fig3a.json evidence (serial vs
 # parallel batched top-k at geobench scale 0.05).

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"math/rand"
+	"strconv"
+	"time"
+)
+
+// backoff schedules retry waits for shed ingest batches (429
+// backpressure, 503 unavailable). The server's Retry-After wins when
+// present — it knows its own drain or backlog horizon; otherwise the
+// wait grows exponentially from base to cap with ±25% jitter, so a
+// fleet of feeders that got shed together does not return together.
+// Deterministic given the rng seed, which is what makes it testable.
+type backoff struct {
+	base time.Duration
+	cap  time.Duration
+	rng  *rand.Rand
+}
+
+func newBackoff(base, cap time.Duration, rng *rand.Rand) *backoff {
+	return &backoff{base: base, cap: cap, rng: rng}
+}
+
+// wait returns how long to sleep before retry number attempt
+// (0-based). retryAfter is the raw Retry-After header value, seconds
+// per RFC 9110 (an unparsable value falls back to the exponential
+// schedule).
+func (b *backoff) wait(attempt int, retryAfter string) time.Duration {
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	d := b.base << uint(attempt)
+	if d <= 0 || d > b.cap { // <= 0: the shift overflowed
+		d = b.cap
+	}
+	// ±25% jitter.
+	j := 0.75 + b.rng.Float64()*0.5
+	return time.Duration(float64(d) * j)
+}

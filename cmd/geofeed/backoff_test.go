@@ -1,0 +1,57 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Retry-After takes precedence over the exponential schedule.
+func TestBackoffHonoursRetryAfter(t *testing.T) {
+	b := newBackoff(50*time.Millisecond, 2*time.Second, rand.New(rand.NewSource(1)))
+	if got := b.wait(0, "3"); got != 3*time.Second {
+		t.Fatalf("wait with Retry-After: 3 = %v, want 3s", got)
+	}
+	if got := b.wait(7, "0"); got != 0 {
+		t.Fatalf("wait with Retry-After: 0 = %v, want 0", got)
+	}
+	// Unparsable header falls back to the schedule.
+	if got := b.wait(0, "soon"); got < 30*time.Millisecond || got > 70*time.Millisecond {
+		t.Fatalf("fallback wait = %v, want ~50ms ±25%%", got)
+	}
+}
+
+// The schedule doubles per attempt, stays within the jitter envelope,
+// and saturates at the cap (including far past shift-overflow range).
+func TestBackoffExponentialAndCapped(t *testing.T) {
+	base, cap := 50*time.Millisecond, 2*time.Second
+	b := newBackoff(base, cap, rand.New(rand.NewSource(2)))
+	for attempt := 0; attempt < 12; attempt++ {
+		ideal := base << uint(attempt)
+		if ideal <= 0 || ideal > cap {
+			ideal = cap
+		}
+		lo := time.Duration(float64(ideal) * 0.75)
+		hi := time.Duration(float64(ideal) * 1.25)
+		for i := 0; i < 50; i++ {
+			if got := b.wait(attempt, ""); got < lo || got > hi {
+				t.Fatalf("attempt %d: wait %v outside [%v, %v]", attempt, got, lo, hi)
+			}
+		}
+	}
+	// Absurd attempt counts (shift overflow) still return the cap.
+	if got := b.wait(200, ""); got > time.Duration(float64(cap)*1.25) {
+		t.Fatalf("overflowed attempt: %v, want ≤ cap+jitter", got)
+	}
+}
+
+// Same seed, same schedule — the firehose stays reproducible.
+func TestBackoffDeterministic(t *testing.T) {
+	a := newBackoff(50*time.Millisecond, 2*time.Second, rand.New(rand.NewSource(9)))
+	b := newBackoff(50*time.Millisecond, 2*time.Second, rand.New(rand.NewSource(9)))
+	for i := 0; i < 20; i++ {
+		if wa, wb := a.wait(i%6, ""), b.wait(i%6, ""); wa != wb {
+			t.Fatalf("attempt %d: %v vs %v", i, wa, wb)
+		}
+	}
+}

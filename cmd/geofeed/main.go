@@ -88,9 +88,13 @@ func feed(args []string) {
 	}
 
 	client := &http.Client{Timeout: 10 * time.Second}
+	// Retry schedule for shed batches; seeded off the stream seed so a
+	// run is reproducible end to end.
+	bo := newBackoff(50*time.Millisecond, 2*time.Second, rand.New(rand.NewSource(*seed+1)))
+	const maxAttempts = 10
 	var (
-		sent, batches, retries, rejected int
-		buf                              bytes.Buffer
+		sent, batches, retried429, retried503 int
+		buf                                   bytes.Buffer
 	)
 	start := time.Now()
 	deadline := start.Add(*duration)
@@ -100,30 +104,35 @@ func feed(args []string) {
 			s := next()
 			fmt.Fprintf(&buf, `{"user":%d,"x":%g,"y":%g,"t":%g}`+"\n", s.User, s.X, s.Y, s.T)
 		}
-		for {
+		for attempt := 0; ; attempt++ {
 			resp, err := client.Post(*url+"/v1/ingest", "application/x-ndjson", bytes.NewReader(buf.Bytes()))
 			if err != nil {
 				log.Fatal(err)
 			}
 			_ = resp.Body.Close() // response body fully ignored; status code is the signal
-			if resp.StatusCode == http.StatusAccepted {
+			switch resp.StatusCode {
+			case http.StatusAccepted:
 				sent += *batch
 				batches++
-				break
-			}
-			if resp.StatusCode == http.StatusTooManyRequests {
-				rejected++
-				retries++
-				wait := 50 * time.Millisecond
-				if ra := resp.Header.Get("Retry-After"); ra != "" {
-					if d, err := time.ParseDuration(ra + "s"); err == nil {
-						wait = d
-					}
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				// 429: backpressure; 503: draining or briefly
+				// unavailable. Both are retryable sheds — but a batch
+				// shed maxAttempts times in a row means the server is
+				// not coming back at this load.
+				if attempt+1 >= maxAttempts {
+					log.Fatalf("POST /v1/ingest: shed %d times in a row (last status %d); giving up", maxAttempts, resp.StatusCode)
 				}
-				time.Sleep(wait)
+				if resp.StatusCode == http.StatusTooManyRequests {
+					retried429++
+				} else {
+					retried503++
+				}
+				time.Sleep(bo.wait(attempt, resp.Header.Get("Retry-After")))
 				continue
+			default:
+				log.Fatalf("POST /v1/ingest: status %d", resp.StatusCode)
 			}
-			log.Fatalf("POST /v1/ingest: status %d", resp.StatusCode)
+			break
 		}
 		if *rate > 0 {
 			// Pace to the target rate against the wall clock.
@@ -134,8 +143,8 @@ func feed(args []string) {
 		}
 	}
 	elapsed := time.Since(start).Seconds()
-	fmt.Printf("fed %d samples in %d batches over %.1fs (%.0f samples/s); %d backpressure retries\n",
-		sent, batches, elapsed, float64(sent)/elapsed, rejected)
+	fmt.Printf("fed %d samples in %d batches over %.1fs (%.0f samples/s); %d retries (%d backpressure, %d unavailable)\n",
+		sent, batches, elapsed, float64(sent)/elapsed, retried429+retried503, retried429, retried503)
 }
 
 func inspect(args []string) {

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"net/http"
+	"time"
+)
+
+// httpOptions collects the listener-level timeout knobs. Zero values
+// select the defaults below — every timeout is always set, because an
+// http.Server with a zero ReadHeaderTimeout or IdleTimeout holds a
+// slow-loris or idle keep-alive connection forever, and enough of
+// those starve the accept loop.
+type httpOptions struct {
+	addr              string
+	readTimeout       time.Duration
+	readHeaderTimeout time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+}
+
+const (
+	defaultReadTimeout = 10 * time.Second
+	// defaultReadHeaderTimeout bounds how long a connection may dribble
+	// request headers — the slow-loris window.
+	defaultReadHeaderTimeout = 5 * time.Second
+	defaultWriteTimeout      = 30 * time.Second
+	// defaultIdleTimeout reclaims keep-alive connections that stopped
+	// sending requests.
+	defaultIdleTimeout = 120 * time.Second
+)
+
+// newHTTPServer builds the http.Server geoserve runs, with every
+// timeout populated (falling back to the defaults above for zero
+// fields).
+func newHTTPServer(opts httpOptions, h http.Handler) *http.Server {
+	if opts.readTimeout <= 0 {
+		opts.readTimeout = defaultReadTimeout
+	}
+	if opts.readHeaderTimeout <= 0 {
+		opts.readHeaderTimeout = defaultReadHeaderTimeout
+	}
+	if opts.writeTimeout <= 0 {
+		opts.writeTimeout = defaultWriteTimeout
+	}
+	if opts.idleTimeout <= 0 {
+		opts.idleTimeout = defaultIdleTimeout
+	}
+	return &http.Server{
+		Addr:              opts.addr,
+		Handler:           h,
+		ReadTimeout:       opts.readTimeout,
+		ReadHeaderTimeout: opts.readHeaderTimeout,
+		WriteTimeout:      opts.writeTimeout,
+		IdleTimeout:       opts.idleTimeout,
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// Every listener timeout must be non-zero — in particular
+// ReadHeaderTimeout (slow-loris) and IdleTimeout (keep-alive leak),
+// which the server historically left unset.
+func TestHTTPServerDefaultsAllTimeoutsSet(t *testing.T) {
+	s := newHTTPServer(httpOptions{addr: ":0"}, http.NewServeMux())
+	if s.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset")
+	}
+	if s.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset")
+	}
+	if s.WriteTimeout <= 0 {
+		t.Error("WriteTimeout unset")
+	}
+	if s.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset")
+	}
+	if s.Addr != ":0" {
+		t.Errorf("Addr = %q", s.Addr)
+	}
+}
+
+// Explicit values pass through unclamped.
+func TestHTTPServerExplicitTimeouts(t *testing.T) {
+	s := newHTTPServer(httpOptions{
+		addr:              ":0",
+		readTimeout:       time.Second,
+		readHeaderTimeout: 2 * time.Second,
+		writeTimeout:      3 * time.Second,
+		idleTimeout:       4 * time.Second,
+	}, nil)
+	if s.ReadTimeout != time.Second || s.ReadHeaderTimeout != 2*time.Second ||
+		s.WriteTimeout != 3*time.Second || s.IdleTimeout != 4*time.Second {
+		t.Errorf("timeouts not passed through: %+v", s)
+	}
+}

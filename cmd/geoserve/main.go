@@ -28,7 +28,6 @@ import (
 	"context"
 	"flag"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,7 +55,21 @@ func main() {
 	gap := flag.Float64("session-gap", 60, "seconds of silence that end a user's session")
 	eps := flag.Float64("eps", 0.02, "RoI extraction ε (spatial closeness)")
 	tau := flag.Int("tau", 30, "RoI extraction τ (minimum dwell samples)")
+
+	maxInflight := flag.Int("max-inflight-queries", 0, "cap on concurrent top-k queries; excess get 429 (0: unlimited)")
+	queryTimeout := flag.Duration("query-timeout", 0, "default per-request query deadline when the client sends no ?timeout_ms= (0: none)")
+	maxQueryTimeout := flag.Duration("max-query-timeout", server.DefaultMaxTimeout, "hard cap on any query deadline, including client-requested ones")
+	readTimeout := flag.Duration("read-timeout", defaultReadTimeout, "max duration for reading an entire request")
+	readHeaderTimeout := flag.Duration("read-header-timeout", defaultReadHeaderTimeout, "max duration for reading request headers (slow-loris guard)")
+	writeTimeout := flag.Duration("write-timeout", defaultWriteTimeout, "max duration for writing a response")
+	idleTimeout := flag.Duration("idle-timeout", defaultIdleTimeout, "how long an idle keep-alive connection is kept")
 	flag.Parse()
+
+	srvOpts := server.Options{
+		MaxInflightQueries: *maxInflight,
+		DefaultTimeout:     *queryTimeout,
+		MaxTimeout:         *maxQueryTimeout,
+	}
 
 	if (*dbPath == "") == (*walPath == "") {
 		log.Print("need exactly one data source: -db (static) or -wal (streaming)")
@@ -103,22 +116,23 @@ func main() {
 		}
 		log.Printf("recovered %d users from snapshot + %d WAL records", rec.DB.Len(), rec.Replayed)
 		db = rec.DB
-		srv = server.New(db)
+		srv = server.NewWithOptions(db, srvOpts)
 		if pipe, err = srv.AttachPipeline(cfg, rec.State); err != nil {
 			log.Fatal(err)
 		}
 	} else {
-		srv = server.New(db)
+		srv = server.NewWithOptions(db, srvOpts)
 	}
 	log.Printf("loaded %d users (%d regions) in %.2fs; listening on %s",
 		db.Len(), db.NumRegions(), time.Since(start).Seconds(), *addr)
 
-	httpSrv := &http.Server{
-		Addr:         *addr,
-		Handler:      srv.Handler(),
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 30 * time.Second,
-	}
+	httpSrv := newHTTPServer(httpOptions{
+		addr:              *addr,
+		readTimeout:       *readTimeout,
+		readHeaderTimeout: *readHeaderTimeout,
+		writeTimeout:      *writeTimeout,
+		idleTimeout:       *idleTimeout,
+	}, srv.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 
@@ -130,8 +144,11 @@ func main() {
 	case s := <-sig:
 		log.Printf("%s: shutting down", s)
 	}
-	// Drain in-flight requests first (ingest acks must not be dropped),
+	// Shed new arrivals first — the drain gate turns them into 503 +
+	// Retry-After so load balancers fail over during the grace period —
+	// then drain in-flight requests (ingest acks must not be dropped),
 	// then checkpoint and close the pipeline.
+	srv.SetDraining(true)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

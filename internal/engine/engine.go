@@ -28,8 +28,8 @@
 package engine
 
 import (
+	"context"
 	"runtime"
-	"sync"
 
 	"geofootprint/internal/core"
 	"geofootprint/internal/search"
@@ -140,120 +140,29 @@ func (e *QueryEngine) DB() *store.FootprintDB { return e.db }
 // TopK answers a single top-k query, parallelising the refinement
 // step when the method decomposes (user-centric, linear) and enough
 // candidates justify the fan-out. Results are identical — including
-// every score bit and tie-break — to the serial search paths.
+// every score bit and tie-break — to the serial search paths. It is
+// TopKCtx under a background context (which never cancels, so the
+// error is statically nil).
 func (e *QueryEngine) TopK(q core.Footprint, k int) []search.Result {
-	if k <= 0 {
-		return nil
-	}
-	switch e.method {
-	case MethodLinear:
-		qnorm := core.Norm(q)
-		if qnorm == 0 {
-			return nil
-		}
-		return e.refineRange(len(e.db.Footprints), q, k, qnorm)
-	case MethodIterative:
-		return e.roi.TopKIterative(q, k)
-	case MethodBatch:
-		return e.roi.TopKBatch(q, k)
-	case MethodSketch:
-		return e.topKSketch(q, k)
-	default:
-		qnorm := core.Norm(q)
-		if qnorm == 0 {
-			return nil
-		}
-		cands := e.uc.Candidates(q.MBR(), nil)
-		return e.refineCandidates(cands, q, k, qnorm)
-	}
+	res, _ := e.TopKCtx(context.Background(), q, k)
+	return res
 }
 
 // serialTopK runs the configured method's serial path — the oracle the
 // parallel paths must match, and the per-query unit of TopKBatch.
 func (e *QueryEngine) serialTopK(q core.Footprint, k int) []search.Result {
-	switch e.method {
-	case MethodLinear:
-		return search.NewLinearScan(e.db).TopK(q, k)
-	case MethodIterative:
-		return e.roi.TopKIterative(q, k)
-	case MethodBatch:
-		return e.roi.TopKBatch(q, k)
-	case MethodSketch:
-		return e.uc.TopKSketch(q, k)
-	default:
-		return e.uc.TopK(q, k)
-	}
+	res, _ := e.serialTopKCtx(context.Background(), q, k)
+	return res
 }
 
 // TopKBatch answers a batch of queries across the worker pool, one
 // merged result set per query, in input order. Each query executes the
 // serial path of the configured method on a single worker, so the
 // output is byte-identical to calling TopK serially per query — for
-// all four methods.
+// all four methods. It is TopKBatchCtx under a background context.
 func (e *QueryEngine) TopKBatch(queries []core.Footprint, k int) [][]search.Result {
-	out := make([][]search.Result, len(queries))
-	workers := e.workers
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	if workers <= 1 {
-		for i, q := range queries {
-			out[i] = e.serialTopK(q, k)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = e.serialTopK(queries[i], k)
-			}
-		}()
-	}
-	for i := range queries {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	out, _ := e.TopKBatchCtx(context.Background(), queries, k)
 	return out
-}
-
-// refineCandidates shards the candidate list of a user-centric query
-// across workers, each refining its shard with Algorithm 4 into its
-// own bounded heap, and merges the heaps deterministically.
-func (e *QueryEngine) refineCandidates(cands []int, q core.Footprint, k int, qnorm float64) []search.Result {
-	workers := e.shardWorkers(len(cands))
-	if workers <= 1 {
-		col := topk.New(k)
-		for _, u := range cands {
-			e.offerUser(col, u, q, qnorm)
-		}
-		return col.Results()
-	}
-	parts := e.runShards(workers, len(cands), k, func(col *topk.Collector, i int) {
-		e.offerUser(col, cands[i], q, qnorm)
-	})
-	return mergeParts(parts, k)
-}
-
-// refineRange is refineCandidates over the dense user range [0, n) —
-// the parallel linear scan.
-func (e *QueryEngine) refineRange(n int, q core.Footprint, k int, qnorm float64) []search.Result {
-	workers := e.shardWorkers(n)
-	if workers <= 1 {
-		col := topk.New(k)
-		for u := 0; u < n; u++ {
-			e.offerUser(col, u, q, qnorm)
-		}
-		return col.Results()
-	}
-	parts := e.runShards(workers, n, k, func(col *topk.Collector, u int) {
-		e.offerUser(col, u, q, qnorm)
-	})
-	return mergeParts(parts, k)
 }
 
 // offerUser refines one candidate with Algorithm 4 and offers the
@@ -273,35 +182,6 @@ func (e *QueryEngine) shardWorkers(n int) int {
 		w = byWork
 	}
 	return w
-}
-
-// runShards splits [0, n) into `workers` contiguous shards, runs
-// `visit` over each shard on its own goroutine into a per-worker
-// collector, and returns the collectors.
-func (e *QueryEngine) runShards(workers, n, k int, visit func(col *topk.Collector, i int)) []*topk.Collector {
-	parts := make([]*topk.Collector, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			parts[w] = topk.New(k)
-			continue
-		}
-		wg.Add(1)
-		parts[w] = topk.New(k)
-		go func(col *topk.Collector, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				visit(col, i)
-			}
-		}(parts[w], lo, hi)
-	}
-	wg.Wait()
-	return parts
 }
 
 // mergeParts merges per-worker bounded heaps into the final top-k.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 
 	"geofootprint/internal/core"
@@ -39,20 +40,29 @@ import (
 // answer — byte-identical to the serial search.TopKSketch, whose
 // result is the unique top k under the strict total order.
 
-// topKSketch answers one MethodSketch query, sharding refinement when
-// the candidate count justifies the fan-out.
-func (e *QueryEngine) topKSketch(q core.Footprint, k int) []search.Result {
+// topKSketchCtx answers one MethodSketch query, sharding refinement
+// when the candidate count justifies the fan-out. Cancellation: the
+// filter step polls once after scoring; refinement workers poll every
+// cancelStride positions and abandon their shard. Partial collectors
+// are discarded — the query returns (nil, ctx.Err()).
+func (e *QueryEngine) topKSketchCtx(ctx context.Context, q core.Footprint, k int) ([]search.Result, error) {
 	qnorm := core.Norm(q)
 	if qnorm == 0 {
-		return nil
+		return nil, nil
 	}
 	qsk := sketch.Build(q, e.db.SketchParams)
 	scored := e.uc.SketchCandidates(q, &qsk, qnorm)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	workers := e.shardWorkers(len(scored))
 	if workers <= 1 {
 		col := topk.New(k)
-		e.refineBounded(col, scored, 0, 1, q, k, qnorm)
-		return col.Results()
+		e.refineBoundedCtx(ctx, col, scored, 0, 1, q, k, qnorm)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return col.Results(), nil
 	}
 	parts := make([]*topk.Collector, workers)
 	var wg sync.WaitGroup
@@ -61,21 +71,31 @@ func (e *QueryEngine) topKSketch(q core.Footprint, k int) []search.Result {
 		wg.Add(1)
 		go func(col *topk.Collector, w int) {
 			defer wg.Done()
-			e.refineBounded(col, scored, w, workers, q, k, qnorm)
+			e.refineBoundedCtx(ctx, col, scored, w, workers, q, k, qnorm)
 		}(parts[w], w)
 	}
 	wg.Wait()
-	return mergeParts(parts, k)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return mergeParts(parts, k), nil
 }
 
-// refineBounded refines the strided subsequence start, start+stride, …
-// of the bound-descending candidate list into col, exiting as soon as
+// refineBoundedCtx refines the strided subsequence start, start+stride,
+// … of the bound-descending candidate list into col, exiting as soon as
 // the best remaining bound falls strictly below the collector's
 // threshold. With start=0, stride=1 this is exactly the serial
-// refinement loop of search.TopKSketchStats.
-func (e *QueryEngine) refineBounded(col *topk.Collector, scored []search.SketchCandidate,
+// refinement loop of search.TopKSketchStats. It polls ctx every
+// cancelStride positions and returns early when it fires; the caller
+// must check ctx.Err() and discard the collector.
+//
+//geo:cancellable
+func (e *QueryEngine) refineBoundedCtx(ctx context.Context, col *topk.Collector, scored []search.SketchCandidate,
 	start, stride int, q core.Footprint, k int, qnorm float64) {
-	for i := start; i < len(scored); i += stride {
+	for n, i := 0, start; i < len(scored); n, i = n+1, i+stride {
+		if n&(cancelStride-1) == 0 && ctx.Err() != nil {
+			return
+		}
 		c := scored[i]
 		if col.Len() == k && c.Bound < col.Threshold() {
 			return

@@ -1,0 +1,65 @@
+// Package faultfs abstracts the narrow slice of the filesystem the
+// durability layer (internal/wal, internal/store, internal/ingest)
+// actually uses, so that every write, fsync, and rename on a
+// persistence path can be driven through a deterministic fault
+// schedule in tests: fail the Nth write, tear a write short, return
+// EIO from an fsync, run out of space after K bytes, or break a
+// rename. Production code uses OS, the passthrough implementation;
+// the crash-matrix tests swap in a Fault filesystem and prove that
+// every injected schedule ends in byte-identical recovery or a sealed,
+// reported error — never silent corruption.
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the per-handle surface the durability paths need. It is
+// satisfied by *os.File; fault implementations wrap it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Chmod(mode os.FileMode) error
+	Name() string
+}
+
+// FS is the filesystem surface the durability paths need: open for
+// append/scan (the WAL), temp-file + rename (atomic snapshot writes),
+// and the directory handle whose Sync makes a rename durable.
+type FS interface {
+	// OpenFile opens name with the given flags, as os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens name read-only, as os.Open.
+	Open(name string) (File, error)
+	// CreateTemp creates a new temporary file in dir, as os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath, as os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name, as os.Remove.
+	Remove(name string) error
+}
+
+// OS is the passthrough filesystem every production caller uses.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }

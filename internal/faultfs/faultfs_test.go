@@ -1,0 +1,168 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func tempFile(t *testing.T, fs FS) File {
+	t.Helper()
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// The Nth write fails with EIO, writes nothing, and every other write
+// passes through — the schedule is exact, not approximate.
+func TestFailNthWrite(t *testing.T) {
+	fs := NewFault(OS, Schedule{FailWriteN: 2})
+	f := tempFile(t, fs)
+	defer f.Close()
+
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	n, err := f.Write([]byte("bbbb"))
+	if n != 0 || !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("write 2: n=%d err=%v, want 0 bytes and injected EIO", n, err)
+	}
+	if _, err := f.Write([]byte("cccc")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 8 {
+		t.Fatalf("file size %d, want 8 (failed write left no bytes)", fi.Size())
+	}
+	if got := fs.Fired(); len(got) != 1 || got[0] != "write-fail" {
+		t.Fatalf("fired %v, want [write-fail]", got)
+	}
+}
+
+// A short write leaves a strict prefix of the buffer in the file and
+// reports EIO — the torn mid-record state the WAL CRC must catch.
+func TestShortWrite(t *testing.T) {
+	fs := NewFault(OS, Schedule{ShortWriteN: 1})
+	f := tempFile(t, fs)
+	defer f.Close()
+
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write passed %d bytes, want 5", n)
+	}
+	fi, _ := f.Stat()
+	if fi.Size() != 5 {
+		t.Fatalf("file size %d, want 5", fi.Size())
+	}
+}
+
+// ENOSPC fires when the byte budget is exceeded; bytes that fit still
+// land, like a real volume filling mid-record.
+func TestENOSPCAfterBudget(t *testing.T) {
+	fs := NewFault(OS, Schedule{ENOSPCAfter: 6})
+	f := tempFile(t, fs)
+	defer f.Close()
+
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	n, err := f.Write([]byte("bbbb"))
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected ENOSPC", err)
+	}
+	if n != 2 {
+		t.Fatalf("wrote %d of the overflowing batch, want the 2 that fit", n)
+	}
+	// The volume stays full: later writes keep failing.
+	if _, err := f.Write([]byte("c")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("post-full write: %v, want ENOSPC", err)
+	}
+}
+
+// The Nth fsync fails with EIO; the write itself succeeded, which is
+// the ambiguity (data in page cache, not durable) callers must seal on.
+func TestFailNthSync(t *testing.T) {
+	fs := NewFault(OS, Schedule{FailSyncN: 2})
+	f := tempFile(t, fs)
+	defer f.Close()
+
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync 2: %v, want injected EIO", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3: %v", err)
+	}
+}
+
+// A failed rename leaves the destination untouched; a torn rename
+// destroys it. Both report EIO.
+func TestRenameFaults(t *testing.T) {
+	for _, torn := range []bool{false, true} {
+		dir := t.TempDir()
+		src := filepath.Join(dir, "src")
+		dst := filepath.Join(dir, "dst")
+		if err := os.WriteFile(src, []byte("new"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dst, []byte("old"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fs := NewFault(OS, Schedule{FailRenameN: 1, TornRename: torn})
+		if err := fs.Rename(src, dst); !errors.Is(err, ErrInjected) {
+			t.Fatalf("torn=%v: rename err = %v, want injected", torn, err)
+		}
+		_, statErr := os.Stat(dst)
+		if torn && !os.IsNotExist(statErr) {
+			t.Fatalf("torn rename left destination behind (stat err %v)", statErr)
+		}
+		if !torn {
+			b, err := os.ReadFile(dst)
+			if err != nil || string(b) != "old" {
+				t.Fatalf("failed rename damaged destination: %q, %v", b, err)
+			}
+		}
+		// The schedule is spent: the next rename succeeds.
+		if err := fs.Rename(src, dst); err != nil {
+			t.Fatalf("torn=%v: second rename: %v", torn, err)
+		}
+	}
+}
+
+// OS passthrough round-trips content — the production path is inert.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	f, err := OS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Rename(path, filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "b"))
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("round trip: %q, %v", b, err)
+	}
+}

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"geofootprint/internal/core"
 	"geofootprint/internal/extract"
+	"geofootprint/internal/faultfs"
 	"geofootprint/internal/store"
 	"geofootprint/internal/wal"
 )
@@ -42,6 +44,11 @@ type Config struct {
 	// SnapshotEvery checkpoints after this many applied WAL records
 	// (0 = only on Close and explicit TriggerSnapshot).
 	SnapshotEvery int
+	// FS is the filesystem every durable write and read goes through
+	// (nil selects the real OS). The crash-matrix tests install a
+	// faultfs.Fault here to exercise ENOSPC, EIO, short writes and
+	// torn renames deterministically.
+	FS faultfs.FS
 }
 
 // DefaultExtract is the paper's extraction configuration.
@@ -59,6 +66,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 10000
+	}
+	if c.FS == nil {
+		c.FS = faultfs.OS
 	}
 	return c
 }
@@ -121,6 +131,14 @@ type Stats struct {
 	QueueLen  int    `json:"queue_len"`
 	QueueCap  int    `json:"queue_cap"`
 	WALBytes  int64  `json:"wal_bytes"`
+	// WALSealed and WALErr surface the write-ahead log's health: once
+	// an I/O fault seals the log, the pipeline is fail-fast read-only
+	// and the error string names the cause. A healthy log reports
+	// false/"". Monitoring reads these from /v1/ingest/stats and
+	// /healthz — including for an idle pipeline whose background fsync
+	// broke, which no Append would otherwise surface.
+	WALSealed bool   `json:"wal_sealed"`
+	WALErr    string `json:"wal_error,omitempty"`
 }
 
 type batchMsg struct {
@@ -174,7 +192,7 @@ func New(cfg Config, sink Sink, state *State) (*Pipeline, error) {
 		}
 		seq = state.Seq
 	}
-	log, err := wal.Open(cfg.WALPath, wal.Options{Policy: cfg.Sync, Interval: cfg.SyncInterval})
+	log, err := wal.OpenFS(cfg.FS, cfg.WALPath, wal.Options{Policy: cfg.Sync, Interval: cfg.SyncInterval})
 	if err != nil {
 		return nil, err
 	}
@@ -194,10 +212,25 @@ func New(cfg Config, sink Sink, state *State) (*Pipeline, error) {
 }
 
 // Ingest makes one sample batch durable and queues it for application,
-// returning its WAL sequence number. Under SyncEveryAppend the batch
-// is on stable storage when Ingest returns. A full apply queue returns
-// ErrBacklogFull without writing anything.
+// returning its WAL sequence number. It is IngestCtx under a
+// background context — uncancellable, as before.
 func (p *Pipeline) Ingest(samples []Sample) (uint64, error) {
+	return p.IngestCtx(context.Background(), samples)
+}
+
+// IngestCtx makes one sample batch durable and queues it for
+// application, returning its WAL sequence number. Under
+// SyncEveryAppend the batch is on stable storage when IngestCtx
+// returns. A full apply queue returns ErrBacklogFull without writing
+// anything. A cancelled or expired ctx rejects the batch before
+// admission — never after the WAL append, because a record that
+// reached the log will be applied on recovery whether or not the
+// client was told, and an ack-then-cancel ambiguity is worse than a
+// clean reject.
+func (p *Pipeline) IngestCtx(ctx context.Context, samples []Sample) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if len(samples) == 0 {
 		return 0, errors.New("ingest: empty batch")
 	}
@@ -216,10 +249,14 @@ func (p *Pipeline) Ingest(samples []Sample) (uint64, error) {
 	}
 	// Admission control before durability: a batch the queue cannot
 	// hold must not reach the WAL, or recovery would apply work the
-	// client was told to retry.
+	// client was told to retry. The ctx re-check under the lock is the
+	// last cancellation point — past here the batch commits.
 	if len(p.queue) == cap(p.queue) {
 		p.rejected.Add(1)
 		return 0, ErrBacklogFull
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	lsn, err := p.log.Append(payload)
 	if err != nil {
@@ -310,7 +347,7 @@ func (p *Pipeline) writeSnapshot() error {
 	state := State{Seq: seq, Sessions: p.sess.snapshot()}
 	var err error
 	p.sink.WithDB(func(db *store.FootprintDB) {
-		err = writeSnapshotFile(p.cfg.SnapshotPath, state, db)
+		err = writeSnapshotFile(p.cfg.FS, p.cfg.SnapshotPath, state, db)
 	})
 	if err != nil {
 		return err
@@ -379,11 +416,16 @@ func (p *Pipeline) Err() error {
 	return err
 }
 
+// WALErr reports the error that sealed the write-ahead log, or nil
+// while it is healthy. Unlike Err, this also catches faults raised by
+// the log's background fsync goroutine on an otherwise idle pipeline.
+func (p *Pipeline) WALErr() error { return p.log.Err() }
+
 // Stats returns a consistent-enough snapshot of the counters for
 // monitoring; individual fields are atomically read but not mutually
 // synchronized.
 func (p *Pipeline) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Samples:   p.samples.Load(),
 		Batches:   p.batches.Load(),
 		Rejected:  p.rejected.Load(),
@@ -396,4 +438,9 @@ func (p *Pipeline) Stats() Stats {
 		QueueCap:  cap(p.queue),
 		WALBytes:  p.log.Size(),
 	}
+	if err := p.log.Err(); err != nil {
+		st.WALSealed = true
+		st.WALErr = err.Error()
+	}
+	return st
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"geofootprint/internal/faultfs"
 	"geofootprint/internal/store"
 	"geofootprint/internal/wal"
 )
@@ -25,8 +26,8 @@ type snapMeta struct {
 	Sessions []SessionState
 }
 
-func writeSnapshotFile(path string, state State, db *store.FootprintDB) error {
-	return store.WriteFileAtomic(path, func(w io.Writer) error {
+func writeSnapshotFile(fsys faultfs.FS, path string, state State, db *store.FootprintDB) error {
+	return store.WriteFileAtomicFS(fsys, path, func(w io.Writer) error {
 		if err := gob.NewEncoder(w).Encode(snapMeta{Seq: state.Seq, Sessions: state.Sessions}); err != nil {
 			return fmt.Errorf("ingest: encoding snapshot meta: %w", err)
 		}
@@ -36,8 +37,8 @@ func writeSnapshotFile(path string, state State, db *store.FootprintDB) error {
 
 // readSnapshotFile loads a snapshot; a missing file yields a fresh
 // empty database and zero state.
-func readSnapshotFile(path, name string) (*store.FootprintDB, State, error) {
-	f, err := os.Open(path)
+func readSnapshotFile(fsys faultfs.FS, path, name string) (*store.FootprintDB, State, error) {
+	f, err := fsys.Open(path)
 	if os.IsNotExist(err) {
 		return &store.FootprintDB{Name: name}, State{}, nil
 	}
@@ -86,7 +87,7 @@ func Recover(cfg Config) (*RecoverResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	db, state, err := readSnapshotFile(cfg.SnapshotPath, cfg.Name)
+	db, state, err := readSnapshotFile(cfg.FS, cfg.SnapshotPath, cfg.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +100,7 @@ func Recover(cfg Config) (*RecoverResult, error) {
 	}
 	sink := &DBSink{DB: db, Weighting: cfg.Weighting}
 	res := &RecoverResult{DB: db}
-	_, damaged, err := wal.Replay(cfg.WALPath, func(rec wal.Record) error {
+	_, damaged, err := wal.ReplayFS(cfg.FS, cfg.WALPath, func(rec wal.Record) error {
 		if rec.LSN <= state.Seq {
 			res.Skipped++
 			return nil

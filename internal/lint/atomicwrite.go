@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"geofootprint/internal/lint/analysis"
 )
@@ -21,17 +22,25 @@ import (
 //     parent-directory fsync — without it the rename itself is not
 //     durable, and a crash can un-commit an acknowledged checkpoint.
 //
+// Since the durability layer moved onto the faultfs.FS seam (PR 5),
+// the same three rules apply to its Rename method and its File.Sync —
+// a raw fsys.Rename outside the helper tears files exactly as
+// os.Rename does, just through one more interface. WriteFileAtomicFS,
+// the explicit-filesystem form of the helper, is covered by the same
+// allowance as WriteFileAtomic.
+//
 // Append-only file handling (os.OpenFile, as the WAL uses) is out of
 // scope: it has no rename commit point.
 var AtomicWrite = &analysis.Analyzer{
 	Name: "atomicwrite",
-	Doc: "flag raw file writes (os.Create/os.WriteFile/os.Rename) on persistence paths " +
-		"outside WriteFileAtomic, and renames without a parent-directory fsync",
+	Doc: "flag raw file writes (os.Create/os.WriteFile and os/faultfs Rename) on persistence paths " +
+		"outside WriteFileAtomic/WriteFileAtomicFS, and renames without a parent-directory fsync",
 	Run: runAtomicWrite,
 }
 
-// atomicHelperName is the one function allowed to perform the
-// tmp-write + fsync + rename + dir-fsync dance.
+// atomicHelperName prefixes the functions allowed to perform the
+// tmp-write + fsync + rename + dir-fsync dance: WriteFileAtomic and
+// its explicit-filesystem form WriteFileAtomicFS.
 const atomicHelperName = "WriteFileAtomic"
 
 func runAtomicWrite(pass *analysis.Pass) error {
@@ -51,7 +60,7 @@ func runAtomicWrite(pass *analysis.Pass) error {
 }
 
 func checkFuncWrites(pass *analysis.Pass, fd *ast.FuncDecl) {
-	inHelper := fd.Name.Name == atomicHelperName
+	inHelper := strings.HasPrefix(fd.Name.Name, atomicHelperName)
 	var renames []*ast.CallExpr
 	var lastSyncEnd token.Pos
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -75,6 +84,15 @@ func checkFuncWrites(pass *analysis.Pass, fd *ast.FuncDecl) {
 				renames = append(renames, call)
 			}
 		}
+		if isFaultFSRename(pass.TypesInfo, call) {
+			if !inHelper {
+				pass.Reportf(call.Pos(),
+					"faultfs Rename outside %s on a persistence path; rename commits belong in the audited helper",
+					atomicHelperName)
+			} else {
+				renames = append(renames, call)
+			}
+		}
 		if isFileSyncCall(pass.TypesInfo, call) && call.End() > lastSyncEnd {
 			lastSyncEnd = call.End()
 		}
@@ -83,9 +101,25 @@ func checkFuncWrites(pass *analysis.Pass, fd *ast.FuncDecl) {
 	for _, r := range renames {
 		if lastSyncEnd <= r.End() {
 			pass.Reportf(r.Pos(),
-				"os.Rename without a parent-directory fsync after it; the rename is not durable until the directory entry is synced")
+				"rename without a parent-directory fsync after it; the rename is not durable until the directory entry is synced")
 		}
 	}
+}
+
+// isFaultFSRename reports whether the call is the Rename method of the
+// faultfs filesystem seam (the interface or any implementation defined
+// in a faultfs package) — the crash-atomicity rules follow the
+// operation, not which seam issues it.
+func isFaultFSRename(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Rename" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return fn.Pkg() != nil && pathHasSegment(fn.Pkg().Path(), "faultfs")
 }
 
 // osFuncName returns the name of the called package-level os function,
@@ -101,9 +135,9 @@ func osFuncName(info *types.Info, call *ast.CallExpr) string {
 	return fn.Name()
 }
 
-// isFileSyncCall reports whether the call is (*os.File).Sync — the
-// fsync WriteFileAtomic must issue on the parent directory after its
-// rename.
+// isFileSyncCall reports whether the call is (*os.File).Sync or
+// (faultfs.File).Sync — the fsync WriteFileAtomic must issue on the
+// parent directory after its rename, through either seam.
 func isFileSyncCall(info *types.Info, call *ast.CallExpr) bool {
 	fn := calleeFunc(info, call)
 	if fn == nil || fn.Name() != "Sync" {
@@ -112,6 +146,9 @@ func isFileSyncCall(info *types.Info, call *ast.CallExpr) bool {
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
 		return false
+	}
+	if fn.Pkg() != nil && pathHasSegment(fn.Pkg().Path(), "faultfs") {
+		return true
 	}
 	named := namedOrPointee(sig.Recv().Type())
 	return named != nil && named.Obj().Name() == "File" &&

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"geofootprint/internal/lint/analysis"
+)
+
+// CtxCancel guards PR 5's cancellation contract: a function that
+// advertises cooperative cancellation with a `//geo:cancellable` doc
+// marker must actually poll its context from every outermost loop —
+// otherwise a cancelled or expired query keeps burning CPU across the
+// whole corpus and the deadline middleware's 503 is a lie.
+//
+// The check is syntactic on purpose, which is why the cancellation
+// points in internal/search and internal/engine are written as inline
+// `ctx.Err()` polls rather than hidden behind a helper: each OUTERMOST
+// for/range statement in a marked function must contain, anywhere in
+// its subtree, a call to the context's Err method or a receive from
+// its Done channel. Closures spawned inside the loop count through
+// containment (the worker-pool pattern: the loop body launches
+// goroutines that do the polling). Nested loops are not checked
+// separately — one poll anywhere under the outermost loop bounds the
+// work between polls, because every iteration of an inner loop is
+// inside some iteration of the outer one.
+//
+// Loops whose trip count is small and bounded (over the handful of
+// query regions, over k results) are suppressed case by case with
+// `//lint:ignore ctxcancel <reason>`.
+var CtxCancel = &analysis.Analyzer{
+	Name: "ctxcancel",
+	Doc: "flag outermost loops in //geo:cancellable functions that never poll " +
+		"ctx.Err() or receive from ctx.Done()",
+	Run: runCtxCancel,
+}
+
+// cancellableMarker tags a function that promises cooperative
+// cancellation.
+const cancellableMarker = "//geo:cancellable"
+
+func runCtxCancel(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isCancellable(fd) {
+				continue
+			}
+			checkCancellableFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isCancellable reports whether the function's doc comment carries the
+// //geo:cancellable marker. Directive-style comments are stripped by
+// CommentGroup.Text, so the raw comment list is scanned.
+func isCancellable(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, cancellableMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCancellableFunc reports every outermost for/range statement in
+// fd that has no cancellation point in its subtree. The walk stops at
+// each loop it finds, so nested loops are covered by their enclosing
+// loop's poll.
+func checkCancellableFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body ast.Node
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			body = n
+		case *ast.RangeStmt:
+			body = n
+		default:
+			return true
+		}
+		if !pollsContext(pass, body) {
+			pass.Reportf(n.Pos(),
+				"loop in //geo:cancellable function %s never polls the context; add a ctx.Err() check or <-ctx.Done() receive (or //lint:ignore ctxcancel <reason> for a bounded loop)",
+				fd.Name.Name)
+		}
+		return false // nested loops are contained; do not re-check them
+	})
+}
+
+// pollsContext reports whether the subtree contains a cancellation
+// point: a call to (context.Context).Err, or a receive from
+// (context.Context).Done. Identified by the method's defining package
+// being "context", so it also matches user-defined interfaces that
+// embed context.Context.
+func pollsContext(pass *analysis.Pass, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isContextMethod(pass, n, "Err") {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isContextMethod(pass, call, "Done") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isContextMethod reports whether the call invokes the named method of
+// package context's Context interface.
+func isContextMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(pass.TypesInfo, call)
+	return fn != nil && fn.Name() == name &&
+		fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}

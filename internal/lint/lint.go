@@ -14,6 +14,8 @@
 //     FootprintDB's parallel slices outside internal/store.
 //   - errdiscard      — dropped errors from Sync/Close and the WAL
 //     API on durability paths.
+//   - ctxcancel       — PR 5's cancellation contract: loops in
+//     //geo:cancellable functions must poll ctx.
 //
 // Suppression: a diagnostic is suppressed by a comment
 // `//lint:ignore <analyzer> <reason>` on the offending line or the
@@ -43,6 +45,7 @@ var Analyzers = []*analysis.Analyzer{
 	HotAlloc,
 	SortedFootprint,
 	ErrDiscard,
+	CtxCancel,
 }
 
 // Finding is one surfaced (non-suppressed) diagnostic.

@@ -16,7 +16,8 @@ func TestAtomicWrite(t *testing.T) {
 	analysistest.Run(t, lint.AtomicWrite,
 		"./internal/lint/testdata/src/atomicwrite/store",
 		"./internal/lint/testdata/src/atomicwrite/wal",
-		"./internal/lint/testdata/src/atomicwrite/other")
+		"./internal/lint/testdata/src/atomicwrite/other",
+		"./internal/lint/testdata/src/atomicwrite/ingest")
 }
 
 func TestHotAlloc(t *testing.T) {
@@ -27,6 +28,11 @@ func TestHotAlloc(t *testing.T) {
 func TestSortedFootprint(t *testing.T) {
 	analysistest.Run(t, lint.SortedFootprint,
 		"./internal/lint/testdata/src/sortedfootprint/a")
+}
+
+func TestCtxCancel(t *testing.T) {
+	analysistest.Run(t, lint.CtxCancel,
+		"./internal/lint/testdata/src/ctxcancel/a")
 }
 
 func TestErrDiscard(t *testing.T) {

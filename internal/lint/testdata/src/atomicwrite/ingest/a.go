@@ -1,0 +1,60 @@
+// Package ingest is the atomicwrite fixture for the faultfs seam (its
+// import path ends in the segment "ingest", so it is in scope): the
+// durability rules follow the Rename operation through the filesystem
+// interface, not just package os.
+package ingest
+
+import (
+	"io"
+
+	"geofootprint/internal/faultfs"
+)
+
+// CommitRaw renames through the seam outside the audited helper: the
+// same torn-commit hazard as a raw os.Rename.
+func CommitRaw(fsys faultfs.FS, tmp, path string) error {
+	return fsys.Rename(tmp, path) // want `faultfs Rename outside WriteFileAtomic on a persistence path`
+}
+
+// WriteFileAtomicFS is the compliant helper shape: temp write, file
+// sync, rename, then a parent-directory sync that makes the rename
+// durable.
+func WriteFileAtomicFS(fsys faultfs.FS, dir, tmp, path string, w io.Writer) error {
+	f, err := fsys.Open(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	d, err := fsys.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	return d.Close()
+}
+
+// WriteFileAtomicHalf carries the helper name but forgets the
+// directory sync after its rename: the commit can be lost in a crash.
+func WriteFileAtomicHalf(fsys faultfs.FS, tmp, path string) error {
+	f, err := fsys.Open(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, path) // want `rename without a parent-directory fsync after it`
+}

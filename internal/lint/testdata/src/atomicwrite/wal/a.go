@@ -26,5 +26,5 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(f.Name(), path) // want `os.Rename without a parent-directory fsync`
+	return os.Rename(f.Name(), path) // want `rename without a parent-directory fsync`
 }

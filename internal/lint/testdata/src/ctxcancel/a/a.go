@@ -1,0 +1,104 @@
+// Package a is the ctxcancel fixture: outermost loops in functions
+// marked //geo:cancellable must poll the context; everything else is
+// out of scope.
+package a
+
+import "context"
+
+type item struct{ score float64 }
+
+// Scan sweeps the corpus with a poll per iteration: compliant.
+//
+//geo:cancellable
+func Scan(ctx context.Context, items []item) ([]item, error) {
+	var out []item
+	for i := range items {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, items[i])
+	}
+	return out, nil
+}
+
+// ScanStrided polls on a stride inside a nested loop — the inner loop
+// needs no poll of its own because the outer one's covers it.
+//
+//geo:cancellable
+func ScanStrided(ctx context.Context, grid [][]item) error {
+	for i := range grid {
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		for range grid[i] {
+		}
+	}
+	return nil
+}
+
+// ScanWorkers launches goroutines from the loop; the poll lives in the
+// closure, which counts through containment.
+//
+//geo:cancellable
+func ScanWorkers(ctx context.Context, items []item) {
+	for range items {
+		go func() {
+			select {
+			case <-ctx.Done():
+			default:
+			}
+		}()
+	}
+}
+
+// ScanForever never polls: a cancelled query would spin here until the
+// corpus runs out.
+//
+//geo:cancellable
+func ScanForever(ctx context.Context, items []item) float64 {
+	var sum float64
+	for i := range items { // want `loop in //geo:cancellable function ScanForever never polls the context`
+		sum += items[i].score
+	}
+	return sum
+}
+
+// ScanTwoLoops polls in its first loop but not its second — each
+// outermost loop needs its own cancellation point.
+//
+//geo:cancellable
+func ScanTwoLoops(ctx context.Context, items []item) error {
+	for range items {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	for range items { // want `loop in //geo:cancellable function ScanTwoLoops never polls the context`
+	}
+	return nil
+}
+
+// ScanBounded suppresses the diagnostic for a trip count that is small
+// by construction.
+//
+//geo:cancellable
+func ScanBounded(ctx context.Context, k int) int {
+	_ = ctx
+	n := 0
+	//lint:ignore ctxcancel k is the result size, bounded by the API to double digits
+	for i := 0; i < k; i++ {
+		n++
+	}
+	return n
+}
+
+// Unmarked functions may loop however they like.
+func Unmarked(items []item) float64 {
+	var sum float64
+	for i := range items {
+		sum += items[i].score
+	}
+	return sum
+}

@@ -1,0 +1,84 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/store"
+)
+
+// ctxVariants enumerates every Ctx search entry point over one
+// database, so the contract tests cover them uniformly.
+func ctxVariants(db *store.FootprintDB) map[string]func(ctx context.Context, q core.Footprint, k int) ([]Result, error) {
+	lin := NewLinearScan(db)
+	roi := NewRoIIndex(db, BuildSTR, 0)
+	uc := NewUserCentricIndex(db, BuildSTR, 0)
+	if !db.SketchesEnabled() {
+		db.EnableSketches(0, 0)
+	}
+	return map[string]func(ctx context.Context, q core.Footprint, k int) ([]Result, error){
+		"linear":       lin.TopKCtx,
+		"iterative":    roi.TopKIterativeCtx,
+		"batch":        roi.TopKBatchCtx,
+		"user-centric": uc.TopKCtx,
+		"pruned":       uc.TopKPrunedCtx,
+		"sketch":       uc.TopKSketchCtx,
+	}
+}
+
+// Every Ctx variant refuses an already-cancelled context: nil results
+// and the context's error.
+func TestCtxPreCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	db := testDB(t, rng, 300)
+	q := clusteredFootprints(rng, 1, 10)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, fn := range ctxVariants(db) {
+		res, err := fn(ctx, q, 10)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if res != nil {
+			t.Errorf("%s: cancelled query returned %d results", name, len(res))
+		}
+	}
+}
+
+// Every Ctx variant reports an expired deadline as DeadlineExceeded.
+func TestCtxExpiredDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	db := testDB(t, rng, 200)
+	q := clusteredFootprints(rng, 1, 10)[0]
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Minute))
+	defer cancel()
+	for name, fn := range ctxVariants(db) {
+		if _, err := fn(ctx, q, 10); !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v, want context.DeadlineExceeded", name, err)
+		}
+	}
+}
+
+// Under a background context every Ctx variant returns exactly what
+// the reference scoring returns — the wrappers and the Ctx bodies are
+// one implementation.
+func TestCtxBackgroundMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	db := testDB(t, rng, 400)
+	queries := clusteredFootprints(rng, 5, 10)
+	variants := ctxVariants(db)
+	for i, q := range queries {
+		want := referenceTopK(db, q, 10)
+		for name, fn := range variants {
+			got, err := fn(context.Background(), q, 10)
+			if err != nil {
+				t.Fatalf("%s query %d: %v", name, i, err)
+			}
+			sameRanking(t, name, got, want)
+		}
+	}
+}

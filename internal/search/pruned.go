@@ -1,9 +1,9 @@
 package search
 
 import (
+	"context"
+
 	"geofootprint/internal/core"
-	"geofootprint/internal/rtree"
-	"geofootprint/internal/topk"
 )
 
 // This file adds upper-bound pruning to the user-centric search, an
@@ -68,38 +68,6 @@ func (ix *UserCentricIndex) WarmPruning() { ix.ensureMaxFreqs() }
 // same ranking as TopK; the benefit is skipped Algorithm 4 joins for
 // hopeless candidates, which matters for large-MBR queries.
 func (ix *UserCentricIndex) TopKPruned(q core.Footprint, k int) []Result {
-	qnorm := core.Norm(q)
-	if qnorm == 0 || k <= 0 {
-		return nil
-	}
-	ix.ensureMaxFreqs()
-	qmbr := q.MBR()
-	qmax := maxFreq(q)
-	qarea := weightedArea(q)
-	col := topk.New(k)
-	ix.tree.Search(qmbr, func(e rtree.Entry) bool {
-		u := int(e.Data)
-		if col.Len() == k {
-			// Three O(1) upper bounds on the numerator; the
-			// smallest decides.
-			//   ∫ f_r·f_q ≤ maxf_r·maxf_q·|MBR_r ∩ MBR_q|
-			//   ∫ f_r·f_q ≤ maxf_r·∫f_q   and symmetric.
-			num := e.Rect.IntersectionArea(qmbr) * ix.maxW[u] * qmax
-			if b := ix.maxW[u] * qarea; b < num {
-				num = b
-			}
-			if b := qmax * ix.twa[u]; b < num {
-				num = b
-			}
-			if num/(ix.db.Norms[u]*qnorm) < col.Threshold() {
-				return true
-			}
-		}
-		sim := core.SimilarityJoin(ix.db.Footprints[u], q, ix.db.Norms[u], qnorm)
-		if sim > 0 {
-			col.Offer(ix.db.IDs[u], sim)
-		}
-		return true
-	})
-	return col.Results()
+	res, _ := ix.TopKPrunedCtx(context.Background(), q, k)
+	return res
 }

@@ -17,6 +17,8 @@
 package search
 
 import (
+	"context"
+
 	"geofootprint/internal/core"
 	"geofootprint/internal/geom"
 	"geofootprint/internal/rtree"
@@ -47,19 +49,11 @@ func NewLinearScan(db *store.FootprintDB) *LinearScan {
 	return &LinearScan{db: db}
 }
 
-// TopK implements Searcher.
+// TopK implements Searcher. It is TopKCtx under a background context
+// (which never cancels, so the error is statically nil).
 func (s *LinearScan) TopK(q core.Footprint, k int) []Result {
-	qnorm := core.Norm(q)
-	if qnorm == 0 || k <= 0 {
-		return nil
-	}
-	col := topk.New(k)
-	for i, f := range s.db.Footprints {
-		if sim := core.SimilarityJoin(f, q, s.db.Norms[i], qnorm); sim > 0 {
-			col.Offer(s.db.IDs[i], sim)
-		}
-	}
-	return col.Results()
+	res, _ := s.TopKCtx(context.Background(), q, k)
+	return res
 }
 
 // payload encoding for the RoI R-tree: user index and region index
@@ -135,23 +129,11 @@ func (ix *RoIIndex) TopK(q core.Footprint, k int) []Result {
 	return ix.TopKIterative(q, k)
 }
 
-// TopKIterative is the Section 6.1.1 baseline search.
+// TopKIterative is the Section 6.1.1 baseline search (TopKIterativeCtx
+// under a background context, which never cancels).
 func (ix *RoIIndex) TopKIterative(q core.Footprint, k int) []Result {
-	qnorm := core.Norm(q)
-	if qnorm == 0 || k <= 0 {
-		return nil
-	}
-	simn := make(map[int]float64)
-	for _, qr := range q {
-		ix.tree.Search(qr.Rect, func(e rtree.Entry) bool {
-			if a := e.Rect.IntersectionArea(qr.Rect); a > 0 {
-				u, r := unpackPayload(e.Data)
-				simn[u] += a * ix.db.Footprints[u][r].Weight * qr.Weight
-			}
-			return true
-		})
-	}
-	return ix.rank(simn, qnorm, k)
+	res, _ := ix.TopKIterativeCtx(context.Background(), q, k)
+	return res
 }
 
 // TopKBatch is the Section 6.1.2 batch search: a single traversal
@@ -159,56 +141,8 @@ func (ix *RoIIndex) TopKIterative(q core.Footprint, k int) []Result {
 // MBR(F(q)) and query RoIs not intersecting the leaf MBR are
 // eliminated, and the survivors are joined by plane sweep.
 func (ix *RoIIndex) TopKBatch(q core.Footprint, k int) []Result {
-	qnorm := core.Norm(q)
-	if qnorm == 0 || k <= 0 {
-		return nil
-	}
-	qmbr := q.MBR()
-	simn := make(map[int]float64)
-
-	// The query regions are sorted by MinX once for the whole
-	// traversal (footprints from FromRoIs already are; ensureSorted
-	// is then a no-op copy check).
-	qs := make(core.Footprint, len(q))
-	copy(qs, q)
-	core.SortByMinX(qs)
-
-	ix.tree.SearchLeaves(qmbr, func(leafMBR geom.Rect, entries []rtree.Entry) {
-		// Eliminate query RoIs not intersecting the leaf MBR — the
-		// first elimination of Section 6.1.2. The query is sorted
-		// by MinX, so the scan stops at the first region starting
-		// past the leaf.
-		anyQ := false
-		for j := range qs {
-			if qs[j].Rect.MinX > leafMBR.MaxX {
-				break
-			}
-			if qs[j].Rect.Intersects(leafMBR) {
-				anyQ = true
-				break
-			}
-		}
-		if !anyQ {
-			return
-		}
-		// Join surviving leaf entries (those inside MBR(F(q)) — the
-		// second elimination) against the sorted query regions with
-		// an early-exit scan; leaves hold a few dozen entries, for
-		// which this beats sorting them per leaf.
-		for i := range entries {
-			e := &entries[i]
-			if !e.Rect.Intersects(qmbr) {
-				continue
-			}
-			for j := range qs {
-				if qs[j].Rect.MinX > e.Rect.MaxX {
-					break
-				}
-				ix.accumulate(simn, e, &qs[j])
-			}
-		}
-	})
-	return ix.rank(simn, qnorm, k)
+	res, _ := ix.TopKBatchCtx(context.Background(), q, k)
+	return res
 }
 
 // accumulate adds one (entry, query-region) pair's contribution to the
@@ -218,25 +152,6 @@ func (ix *RoIIndex) accumulate(simn map[int]float64, e *rtree.Entry, qr *core.Re
 		u, r := unpackPayload(e.Data)
 		simn[u] += a * ix.db.Footprints[u][r].Weight * qr.Weight
 	}
-}
-
-func (ix *RoIIndex) rank(simn map[int]float64, qnorm float64, k int) []Result {
-	col := topk.New(k)
-	for u, n := range simn {
-		if n <= 0 {
-			continue
-		}
-		denom := ix.db.Norms[u] * qnorm
-		if denom == 0 {
-			continue
-		}
-		sim := n / denom
-		if sim > 1 {
-			sim = 1
-		}
-		col.Offer(ix.db.IDs[u], sim)
-	}
-	return col.Results()
 }
 
 // UserCentricIndex is the Section 6.2 index R^U: one R-tree entry per
@@ -300,21 +215,9 @@ func (ix *UserCentricIndex) Candidates(qmbr geom.Rect, buf []int) []int {
 	return buf
 }
 
-// TopK implements Searcher.
+// TopK implements Searcher (TopKCtx under a background context, which
+// never cancels).
 func (ix *UserCentricIndex) TopK(q core.Footprint, k int) []Result {
-	qnorm := core.Norm(q)
-	if qnorm == 0 || k <= 0 {
-		return nil
-	}
-	qmbr := q.MBR()
-	col := topk.New(k)
-	ix.tree.Search(qmbr, func(e rtree.Entry) bool {
-		u := int(e.Data)
-		sim := core.SimilarityJoin(ix.db.Footprints[u], q, ix.db.Norms[u], qnorm)
-		if sim > 0 {
-			col.Offer(ix.db.IDs[u], sim)
-		}
-		return true
-	})
-	return col.Results()
+	res, _ := ix.TopKCtx(context.Background(), q, k)
+	return res
 }

@@ -21,7 +21,7 @@ import (
 // split keeps the route tables readable.
 func (s *Server) registerExtras() {
 	s.mux.HandleFunc("GET /v1/users", s.handleListUsers)
-	s.mux.HandleFunc("GET /v1/pairs", s.handlePairs)
+	s.mux.HandleFunc("GET /v1/pairs", s.gated(s.handlePairs))
 	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
 }

@@ -1,12 +1,14 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"net/http"
 
 	"geofootprint/internal/core"
 	"geofootprint/internal/ingest"
 	"geofootprint/internal/store"
+	"geofootprint/internal/wal"
 )
 
 // Streaming ingestion endpoints, active once AttachPipeline wires a
@@ -79,7 +81,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
-	lsn, err := s.pipe.Ingest(samples)
+	// IngestCtx only observes the context before the WAL append, so a
+	// fired deadline can never lose an acknowledged batch.
+	lsn, err := s.pipe.IngestCtx(r.Context(), samples)
 	switch {
 	case err == nil:
 		// 202, not 200: the batch is durable but not yet queryable.
@@ -89,8 +93,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ingest.ErrBacklogFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, wal.ErrSealed):
+		// The WAL sealed after an I/O error: ingestion is read-only
+		// until an operator intervenes, but queries still serve. 503
+		// without Retry-After — retrying will not help.
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, ingest.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "request deadline expired before the batch was accepted")
 	default:
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}

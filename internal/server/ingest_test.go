@@ -12,6 +12,7 @@ import (
 
 	"geofootprint/internal/engine"
 	"geofootprint/internal/extract"
+	"geofootprint/internal/faultfs"
 	"geofootprint/internal/ingest"
 )
 
@@ -298,5 +299,51 @@ func TestConcurrentQueriesDuringMutation(t *testing.T) {
 	}
 	if db.Len() < 30 {
 		t.Fatalf("corpus shrank to %d", db.Len())
+	}
+}
+
+// A sealed WAL must be visible end to end: POST /v1/ingest answers
+// 503, /v1/ingest/stats carries the seal and its cause, and /healthz
+// degrades — the satellite fix for background-fsync errors hiding
+// until the next append.
+func TestSealedWALSurfacesEverywhere(t *testing.T) {
+	s, _ := testServer(t)
+	cfg := testIngestConfig(t)
+	// Sync #1 (the first batch's fsync under the default per-append
+	// policy) fails: the WAL seals on the very first ingest.
+	cfg.FS = faultfs.NewFault(faultfs.OS, faultfs.Schedule{FailSyncN: 1})
+	attach(t, s, cfg)
+	h := s.Handler()
+
+	rec, _ := do(t, h, "POST", "/v1/ingest", dwellBatch(9100, 0.3, 0.3))
+	if rec.Code != http.StatusInternalServerError && rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest onto failing WAL returned %d, want an error status", rec.Code)
+	}
+
+	rec, obj := do(t, h, "POST", "/v1/ingest", dwellBatch(9101, 0.3, 0.3))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest onto sealed WAL returned %d, want 503", rec.Code)
+	}
+	if msg, _ := obj["error"].(string); !strings.Contains(msg, "sealed") {
+		t.Fatalf("sealed-WAL error body %q does not mention the seal", msg)
+	}
+
+	rec, obj = do(t, h, "GET", "/v1/ingest/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats returned %d", rec.Code)
+	}
+	if obj["wal_sealed"] != true {
+		t.Fatalf("stats do not report the seal: %v", obj)
+	}
+	if msg, _ := obj["wal_error"].(string); msg == "" {
+		t.Fatal("stats carry no wal_error cause")
+	}
+
+	rec, obj = do(t, h, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz returned %d", rec.Code)
+	}
+	if obj["status"] != "degraded" || obj["wal_sealed"] != true {
+		t.Fatalf("healthz does not degrade on a sealed WAL: %v", obj)
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"geofootprint/internal/classify"
 	"geofootprint/internal/core"
@@ -57,12 +58,24 @@ type Server struct {
 	cls       *classify.Classifier // nil until SetLabels
 	pipe      *ingest.Pipeline     // nil until AttachPipeline
 	mux       *http.ServeMux
+
+	// Overload safety (middleware.go): options, the top-k admission
+	// gate (nil when unlimited), and the shutdown drain flag.
+	opts     Options
+	gate     chan struct{}
+	draining atomic.Bool
 }
 
-// New builds a server over db, indexing it immediately. The sketch
-// layer is enabled up front so mutations maintain it from the first
-// request on.
+// New builds a server over db with default overload options (no
+// admission gate, default deadline cap). The sketch layer is enabled
+// up front so mutations maintain it from the first request on.
 func New(db *store.FootprintDB) *Server {
+	return NewWithOptions(db, Options{})
+}
+
+// NewWithOptions builds a server over db, indexing it immediately,
+// with explicit overload behaviour.
+func NewWithOptions(db *store.FootprintDB, opts Options) *Server {
 	idx := search.NewUserCentricIndex(db, search.BuildSTR, 0)
 	s := &Server{
 		db:        db,
@@ -70,20 +83,21 @@ func New(db *store.FootprintDB) *Server {
 		eng:       engine.New(db, engine.Options{UserCentric: idx}),
 		engSketch: engine.New(db, engine.Options{UserCentric: idx, Method: engine.MethodSketch}),
 		mux:       http.NewServeMux(),
+		opts:      opts.withDefaults(),
+	}
+	if n := s.opts.MaxInflightQueries; n > 0 {
+		s.gate = make(chan struct{}, n)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/users/{id}", s.handleGetUser)
-	s.mux.HandleFunc("GET /v1/users/{id}/similar", s.handleSimilar)
+	s.mux.HandleFunc("GET /v1/users/{id}/similar", s.gated(s.handleSimilar))
 	s.mux.HandleFunc("GET /v1/similarity", s.handlePairwise)
-	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/query", s.gated(s.handleQuery))
 	s.mux.HandleFunc("PUT /v1/users/{id}", s.handlePutUser)
 	s.mux.HandleFunc("DELETE /v1/users/{id}", s.handleDeleteUser)
 	s.registerExtras()
 	return s
 }
-
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
 
 // Wire types.
 
@@ -175,9 +189,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	users, regions := s.db.Len(), s.db.NumRegions()
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	out := map[string]interface{}{
 		"status": "ok", "users": users, "regions": regions,
-	})
+	}
+	// Surface WAL health here, not just in /v1/ingest/stats: a sealed
+	// log means the server still answers queries but cannot make new
+	// writes durable, and that must be visible to the shallowest
+	// possible probe.
+	if s.pipe != nil {
+		if werr := s.pipe.WALErr(); werr != nil {
+			out["status"] = "degraded"
+			out["wal_sealed"] = true
+			out["wal_error"] = werr.Error()
+		}
+	}
+	if s.draining.Load() {
+		out["status"] = "draining"
+		out["draining"] = true
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) userID(r *http.Request) (int, error) {
@@ -237,7 +267,10 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	if excludeSelf {
 		want++
 	}
-	res := eng.TopK(s.db.Footprints[i], want)
+	res, err := eng.TopKCtx(r.Context(), s.db.Footprints[i], want)
+	if writeQueryCtxErr(w, err) {
+		return
+	}
 	out := make([]resultJSON, 0, k)
 	for _, rr := range res {
 		if excludeSelf && rr.ID == id {
@@ -293,8 +326,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	res := eng.TopK(f, q.K)
+	res, err := eng.TopKCtx(r.Context(), f, q.K)
 	s.mu.RUnlock()
+	if writeQueryCtxErr(w, err) {
+		return
+	}
 	out := make([]resultJSON, len(res))
 	for i, rr := range res {
 		out[i] = resultJSON{ID: rr.ID, Similarity: rr.Score}

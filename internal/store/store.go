@@ -16,6 +16,7 @@ import (
 
 	"geofootprint/internal/core"
 	"geofootprint/internal/extract"
+	"geofootprint/internal/faultfs"
 	"geofootprint/internal/geom"
 	"geofootprint/internal/sketch"
 	"geofootprint/internal/traj"
@@ -258,11 +259,19 @@ func (db *FootprintDB) Save(path string) error {
 }
 
 // WriteFileAtomic writes a file through `write` into a temporary file
-// next to path, fsyncs it, and renames it over path. On any error the
-// temporary file is removed and path is left exactly as it was. The
-// same-directory temp file keeps the rename on one filesystem, which
-// is what makes it atomic.
+// next to path, fsyncs it, and renames it over path, all on the real
+// OS filesystem. See WriteFileAtomicFS.
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	return WriteFileAtomicFS(faultfs.OS, path, write)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic over an explicit filesystem, so
+// the crash-matrix tests can drive every step — temp-file write,
+// fsync, rename, directory fsync — through a deterministic fault
+// schedule. On any error the temporary file is removed and path is
+// left exactly as it was. The same-directory temp file keeps the
+// rename on one filesystem, which is what makes it atomic.
+func WriteFileAtomicFS(fsys faultfs.FS, path string, write func(io.Writer) error) error {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		// A bare filename must keep the temp file in the working
@@ -271,7 +280,7 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 		// with EXDEV.
 		dir = "."
 	}
-	f, err := os.CreateTemp(dir, base+".tmp*")
+	f, err := fsys.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return err
 	}
@@ -279,7 +288,7 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	defer func() {
 		if tmp != "" {
 			_ = f.Close() // cleanup of an already-failed write
-			os.Remove(tmp)
+			fsys.Remove(tmp)
 		}
 	}()
 	bw := bufio.NewWriter(f)
@@ -292,7 +301,7 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	if err := f.Sync(); err != nil {
 		return err
 	}
-	// os.CreateTemp creates the file 0600; widen to the usual
+	// CreateTemp creates the file 0600; widen to the usual
 	// umask-style mode so the saved file stays readable by other
 	// processes, as it was with the plain os.Create path.
 	if err := f.Chmod(0o644); err != nil {
@@ -301,7 +310,7 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return err
 	}
 	tmp = "" // committed; disarm the cleanup
@@ -309,7 +318,7 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	// (the ingest checkpoint) truncate the WAL as soon as this
 	// returns, and losing the directory entry in a crash while the
 	// truncation survives would silently drop acknowledged batches.
-	if d, err := os.Open(dir); err == nil {
+	if d, err := fsys.Open(dir); err == nil {
 		syncErr := d.Sync()
 		closeErr := d.Close()
 		if syncErr != nil {

@@ -20,6 +20,28 @@
 // stops at the first invalid record. Everything before a torn tail is
 // trusted: corruption is assumed to happen only at the end of the file
 // (the append-only write pattern), which is the standard WAL contract.
+//
+// # Sealing
+//
+// The log SEALS on the first write, fsync, or truncate error: it
+// becomes fail-fast read-only. The rationale is the torn-tail
+// contract itself — after a failed or short append the file may end in
+// a partial record, and appending anything after it would strand every
+// later record behind the damage (scan stops at the first invalid
+// record), silently losing acknowledged data. A failed fsync is just
+// as terminal: the kernel may have dropped the dirty pages, so the
+// log's clean prefix is no longer known, and retrying the fsync would
+// report success without making the lost pages durable. Sealed state
+// is permanent for the handle; Err reports the sealing cause (also for
+// errors raised by the background interval-sync goroutine, so an
+// idle-but-broken log is visible without another Append), and the
+// serving layer surfaces it in /healthz and /v1/ingest/stats. Recovery
+// is a restart: reopen the path, which repairs the tail and trusts the
+// intact prefix.
+//
+// All file I/O goes through a faultfs.FS, so the crash-matrix tests
+// can drive every one of these paths with deterministic fault
+// schedules; production callers use the OS passthrough.
 package wal
 
 import (
@@ -32,6 +54,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"geofootprint/internal/faultfs"
 )
 
 // headerSize is the fixed per-record overhead.
@@ -99,7 +123,7 @@ type Options struct {
 // use.
 type Log struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       faultfs.File
 	path    string
 	opts    Options
 	nextLSN uint64
@@ -108,19 +132,25 @@ type Log struct {
 
 	stopSync chan struct{} // closes the interval-sync goroutine
 	syncDone chan struct{}
-	syncErr  error // first background fsync error, surfaced on Append
+	sealErr  error // first I/O error; the log is read-only once set
 }
 
-// Open opens (creating if absent) the log at path, scans it to find
-// the end of the valid record sequence, truncates any torn tail, and
-// positions appends after the last valid record. The returned log's
-// next LSN is one past the highest LSN on disk (or 1 for an empty
-// log).
+// Open opens (creating if absent) the log at path through the OS
+// filesystem. See OpenFS.
 func Open(path string, opts Options) (*Log, error) {
+	return OpenFS(faultfs.OS, path, opts)
+}
+
+// OpenFS opens (creating if absent) the log at path on fsys, scans it
+// to find the end of the valid record sequence, truncates any torn
+// tail, and positions appends after the last valid record. The
+// returned log's next LSN is one past the highest LSN on disk (or 1
+// for an empty log).
+func OpenFS(fsys faultfs.FS, path string, opts Options) (*Log, error) {
 	if opts.Policy == SyncInterval && opts.Interval <= 0 {
 		opts.Interval = 100 * time.Millisecond
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -162,9 +192,12 @@ func (l *Log) syncLoop() {
 		select {
 		case <-t.C:
 			l.mu.Lock()
-			if !l.closed {
-				if err := l.f.Sync(); err != nil && l.syncErr == nil {
-					l.syncErr = err
+			if !l.closed && l.sealErr == nil {
+				if err := l.f.Sync(); err != nil {
+					// Seal immediately: an idle-but-broken log must be
+					// visible through Err() without waiting for the
+					// next Append to trip over it.
+					l.sealLocked(fmt.Errorf("wal: background fsync: %w", err))
 				}
 			}
 			l.mu.Unlock()
@@ -177,9 +210,43 @@ func (l *Log) syncLoop() {
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log closed")
 
+// ErrSealed marks every error returned by a log that sealed after an
+// I/O fault; errors.Is(err, ErrSealed) identifies them. The sealing
+// cause is available via Err and wrapped into the returned error.
+var ErrSealed = errors.New("wal: log sealed after I/O error")
+
+// sealLocked marks the log permanently read-only with the given cause.
+// Callers hold l.mu. Only the first cause is kept.
+func (l *Log) sealLocked(cause error) {
+	if l.sealErr == nil {
+		l.sealErr = cause
+	}
+}
+
+// Err reports the error that sealed the log, or nil while it is
+// healthy. Unlike the pre-seal design, a background fsync failure is
+// visible here immediately, not only on the next Append.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sealErr
+}
+
+// Sealed reports whether the log has sealed.
+func (l *Log) Sealed() bool { return l.Err() != nil }
+
+// sealedErrLocked builds the fail-fast error for mutating calls on a
+// sealed log. Callers hold l.mu.
+func (l *Log) sealedErrLocked() error {
+	return fmt.Errorf("%w: %w", ErrSealed, l.sealErr)
+}
+
 // Append writes one record and returns its LSN. Under SyncEveryAppend
 // the record is on stable storage when Append returns; under the other
-// policies it is in the OS page cache.
+// policies it is in the OS page cache. Any write or fsync error seals
+// the log: the failed record is not acknowledged, and every later
+// Append fails fast with ErrSealed — appending past a possibly-torn
+// tail would strand all later records behind the damage.
 func (l *Log) Append(payload []byte) (uint64, error) {
 	if len(payload) > MaxRecordSize {
 		return 0, fmt.Errorf("wal: payload of %d bytes exceeds MaxRecordSize", len(payload))
@@ -189,8 +256,8 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
-	if l.syncErr != nil {
-		return 0, l.syncErr
+	if l.sealErr != nil {
+		return 0, l.sealedErrLocked()
 	}
 	lsn := l.nextLSN
 	buf := make([]byte, headerSize+len(payload))
@@ -200,26 +267,38 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	binary.LittleEndian.PutUint32(buf[12:16], crc)
 	copy(buf[headerSize:], payload)
 	if _, err := l.f.Write(buf); err != nil {
-		return 0, fmt.Errorf("wal: append: %w", err)
+		err = fmt.Errorf("wal: append: %w", err)
+		l.sealLocked(err)
+		return 0, err
 	}
 	l.size += int64(len(buf))
 	l.nextLSN++
 	if l.opts.Policy == SyncEveryAppend {
 		if err := l.f.Sync(); err != nil {
-			return 0, fmt.Errorf("wal: fsync: %w", err)
+			err = fmt.Errorf("wal: fsync: %w", err)
+			l.sealLocked(err)
+			return 0, err
 		}
 	}
 	return lsn, nil
 }
 
-// Sync forces everything appended so far to stable storage.
+// Sync forces everything appended so far to stable storage. An fsync
+// error seals the log.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-	return l.f.Sync()
+	if l.sealErr != nil {
+		return l.sealedErrLocked()
+	}
+	if err := l.f.Sync(); err != nil {
+		l.sealLocked(err)
+		return err
+	}
+	return nil
 }
 
 // NextLSN returns the LSN the next Append will be assigned.
@@ -252,24 +331,36 @@ func (l *Log) Size() int64 {
 // Reset discards every record (after a snapshot has made them
 // obsolete) while keeping the LSN sequence monotone: the next Append
 // continues from the pre-reset sequence, so a stale record that
-// somehow survives can never alias a post-reset one.
+// somehow survives can never alias a post-reset one. A sealed log
+// refuses to reset — its contents are the only recovery evidence left.
 func (l *Log) Reset() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
+	if l.sealErr != nil {
+		return l.sealedErrLocked()
+	}
 	if err := l.f.Truncate(0); err != nil {
-		return fmt.Errorf("wal: reset: %w", err)
+		err = fmt.Errorf("wal: reset: %w", err)
+		l.sealLocked(err)
+		return err
 	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		l.sealLocked(err)
 		return err
 	}
 	l.size = 0
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		l.sealLocked(err)
+		return err
+	}
+	return nil
 }
 
-// Close syncs and closes the log.
+// Close syncs and closes the log. A sealed log skips the final sync
+// (it cannot promise durability anyway) and returns its sealing cause.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -277,7 +368,13 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
-	syncErr := l.f.Sync()
+	var syncErr error
+	if l.sealErr != nil {
+		syncErr = l.sealedErrLocked()
+	} else if err := l.f.Sync(); err != nil {
+		l.sealLocked(err)
+		syncErr = err
+	}
 	closeErr := l.f.Close()
 	stop := l.stopSync
 	l.mu.Unlock()
@@ -297,14 +394,20 @@ type Record struct {
 	Payload []byte
 }
 
-// Replay reads the log at path from the beginning, calling fn for each
-// valid record in order. Payload is only valid for the duration of the
-// call. It stops cleanly at the first torn or corrupt record (the
-// crash-recovery contract) and returns the number of valid records
-// together with whether a damaged tail was skipped. A missing file
-// replays zero records.
+// Replay reads the log at path through the OS filesystem. See
+// ReplayFS.
 func Replay(path string, fn func(rec Record) error) (n int, damaged bool, err error) {
-	f, err := os.Open(path)
+	return ReplayFS(faultfs.OS, path, fn)
+}
+
+// ReplayFS reads the log at path on fsys from the beginning, calling
+// fn for each valid record in order. Payload is only valid for the
+// duration of the call. It stops cleanly at the first torn or corrupt
+// record (the crash-recovery contract) and returns the number of valid
+// records together with whether a damaged tail was skipped. A missing
+// file replays zero records.
+func ReplayFS(fsys faultfs.FS, path string, fn func(rec Record) error) (n int, damaged bool, err error) {
+	f, err := fsys.Open(path)
 	if os.IsNotExist(err) {
 		return 0, false, nil
 	}
@@ -329,7 +432,7 @@ func Replay(path string, fn func(rec Record) error) (n int, damaged bool, err er
 // the byte offset one past the last valid record, and the record
 // count. Damage — short header, short payload, absurd length, CRC
 // mismatch — ends the scan without error.
-func scan(f *os.File, fn func(rec Record) error) (lastLSN uint64, validSize int64, n int, err error) {
+func scan(f faultfs.File, fn func(rec Record) error) (lastLSN uint64, validSize int64, n int, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, 0, 0, err
 	}

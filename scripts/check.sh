@@ -21,11 +21,12 @@ go vet -copylocks ./internal/store/... ./internal/wal/... ./internal/ingest/... 
 	./internal/server/... ./internal/engine/... ./internal/sweep/... ./internal/core/...
 
 # Repo-local analyzers: floatrange (map-order float accumulation),
-# atomicwrite (persistence writes outside WriteFileAtomic), hotalloc
-# (allocation in //geo:hotpath kernels), sortedfootprint (FootprintDB
-# slice writes outside internal/store), errdiscard (dropped
-# Sync/Close/WAL errors). Any finding fails the gate; suppressions
-# need an inline justification.
+# atomicwrite (persistence writes outside WriteFileAtomic/-FS),
+# hotalloc (allocation in //geo:hotpath kernels), sortedfootprint
+# (FootprintDB slice writes outside internal/store), errdiscard
+# (dropped Sync/Close/WAL errors), ctxcancel (loops in
+# //geo:cancellable functions that never poll ctx). Any finding fails
+# the gate; suppressions need an inline justification.
 echo "== geolint ./... =="
 go run ./cmd/geolint ./...
 
@@ -37,6 +38,13 @@ go build ./...
 # panic instead of silently costing a copy+sort per similarity call.
 echo "== go build -tags strictsort ./... =="
 go build -tags strictsort ./...
+
+# The chaos suite runs inside `go test -race ./...` below; this
+# focused pass runs it first so a durability regression fails the gate
+# before the (longer) full race pass, with a log line naming it.
+echo "== chaos: fault-injection & crash-recovery suite (-race) =="
+go test -race -run '(Fault|Chaos|Crash|Seal)' \
+	./internal/faultfs/... ./internal/wal/... ./internal/ingest/... ./internal/server/...
 
 echo "== go test -race ./... =="
 go test -race ./...
