@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check test lint race chaos bench-fig3a bench-sketch bench-ingest benchdiff clean
+.PHONY: check test lint race chaos bench-fig3a bench-sketch bench-ingest bench-qps benchdiff clean
 
 check:
 	./scripts/check.sh
@@ -32,8 +32,9 @@ race:
 # mid-flight. Run under -race because the interesting failures here
 # are exactly the racy ones.
 chaos:
-	$(GO) test -race -run '(Fault|Chaos|Crash|Seal)' \
-		./internal/faultfs/... ./internal/wal/... ./internal/ingest/... ./internal/server/...
+	$(GO) test -race -run '(Fault|Chaos|Crash|Seal|Epoch)' \
+		./internal/faultfs/... ./internal/wal/... ./internal/ingest/... \
+		./internal/server/... ./internal/store/... ./internal/cache/...
 
 # Regenerate the committed BENCH_fig3a.json evidence (serial vs
 # parallel batched top-k at geobench scale 0.05).
@@ -50,6 +51,12 @@ bench-sketch:
 # during vs after ingest).
 bench-ingest:
 	$(GO) run ./cmd/geobench -exp ingest -scale 0.05 -json .
+
+# Regenerate the committed BENCH_qps.json evidence (concurrent query
+# throughput vs live ingest per serving discipline: locked baseline,
+# epoch MVCC, epoch MVCC + result cache).
+bench-qps:
+	$(GO) run ./cmd/geobench -exp qps -scale 0.05 -json .
 
 # Compare two BENCH_<exp>.json reports; fails on >15% wall-clock
 # regression of any method. Usage:

@@ -47,7 +47,7 @@ func main() {
 	log.SetPrefix("geobench: ")
 
 	exp := flag.String("exp", "all",
-		"experiment: table1, table2, table3, table4, fig3a, fig3b, sketch, ingest, mbr-sensitivity, tuning, weighted, grid, cluster-methods, scale-sweep, k-sensitivity or all")
+		"experiment: table1, table2, table3, table4, fig3a, fig3b, sketch, ingest, qps, mbr-sensitivity, tuning, weighted, grid, cluster-methods, scale-sweep, k-sensitivity or all")
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's user counts (1.0 = full size)")
 	partsFlag := flag.String("parts", "A,B,C,D", "comma-separated parts to run")
 	queries := flag.Int("queries", 50, "query users for table3 (paper: 200)")
@@ -250,6 +250,35 @@ func main() {
 		}
 		fmt.Println()
 		emit("ingest", rows)
+	}
+
+	// The concurrent-throughput benchmark pits N query goroutines
+	// against a live ingest stream under each serving discipline
+	// (locked baseline, epoch MVCC, epoch MVCC + result cache). Like
+	// the ingest benchmark it writes temporary WALs, so it only runs
+	// when requested explicitly.
+	if *exp == "qps" {
+		users := int(4000 * *scale / 0.05)
+		samples := int(100000 * *scale / 0.05)
+		goroutines := runtime.GOMAXPROCS(0)
+		if goroutines > 8 {
+			goroutines = 8
+		}
+		fmt.Printf("== Concurrent serving: %d query goroutines vs live ingest (%d users, %d samples), per discipline ==\n",
+			goroutines, users, samples)
+		fmt.Printf("%-12s %12s %14s %14s %12s %12s %14s %14s %8s\n",
+			"mode", "queries/s", "query µs", "samples/s", "hits", "misses", "hit µs", "miss µs", "epochs")
+		rows, err := bench.QPSBench(users, samples, 500, goroutines, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Printf("%-12s %12.0f %14.1f %14.0f %12d %12d %14.1f %14.1f %8d\n",
+				r.Mode, r.QueriesPerSec, r.QueryMeanMicros, r.SamplesPerSec,
+				r.CacheHits, r.CacheMisses, r.HitMeanMicros, r.MissMeanMicros, r.EpochsPublished)
+		}
+		fmt.Println()
+		emit("qps", rows)
 	}
 
 	if want("fig3b") {

@@ -18,6 +18,12 @@
 // server drains in-flight requests, then checkpoints and closes the
 // pipeline, so the next start replays nothing.
 //
+// Serving is epoch-based MVCC (see internal/server): queries pin an
+// immutable snapshot and run lock-free; every mutation publishes the
+// next epoch. -cache-size enables the epoch-keyed result cache, and
+// -stats-interval logs the epoch/cache counters that /healthz and
+// /v1/ingest/stats expose.
+//
 // Endpoints: see internal/server. Quick check:
 //
 //	curl localhost:8080/healthz
@@ -56,6 +62,8 @@ func main() {
 	eps := flag.Float64("eps", 0.02, "RoI extraction ε (spatial closeness)")
 	tau := flag.Int("tau", 30, "RoI extraction τ (minimum dwell samples)")
 
+	cacheSize := flag.Int("cache-size", 0, "epoch-keyed result cache capacity in entries (0: cache disabled)")
+	statsEvery := flag.Duration("stats-interval", 0, "log epoch/cache serving stats at this period (0: only on shutdown)")
 	maxInflight := flag.Int("max-inflight-queries", 0, "cap on concurrent top-k queries; excess get 429 (0: unlimited)")
 	queryTimeout := flag.Duration("query-timeout", 0, "default per-request query deadline when the client sends no ?timeout_ms= (0: none)")
 	maxQueryTimeout := flag.Duration("max-query-timeout", server.DefaultMaxTimeout, "hard cap on any query deadline, including client-requested ones")
@@ -69,6 +77,7 @@ func main() {
 		MaxInflightQueries: *maxInflight,
 		DefaultTimeout:     *queryTimeout,
 		MaxTimeout:         *maxQueryTimeout,
+		CacheSize:          *cacheSize,
 	}
 
 	if (*dbPath == "") == (*walPath == "") {
@@ -125,6 +134,18 @@ func main() {
 	}
 	log.Printf("loaded %d users (%d regions) in %.2fs; listening on %s",
 		db.Len(), db.NumRegions(), time.Since(start).Seconds(), *addr)
+	if *cacheSize > 0 {
+		log.Printf("result cache enabled: %d entries, keyed by (epoch, method, query, k)", *cacheSize)
+	}
+	if *statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for range t.C {
+				logServingStats(srv)
+			}
+		}()
+	}
 
 	httpSrv := newHTTPServer(httpOptions{
 		addr:              *addr,
@@ -149,6 +170,7 @@ func main() {
 	// then drain in-flight requests (ingest acks must not be dropped),
 	// then checkpoint and close the pipeline.
 	srv.SetDraining(true)
+	logServingStats(srv)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
@@ -159,5 +181,18 @@ func main() {
 			log.Fatalf("pipeline close: %v", err)
 		}
 		log.Print("checkpointed; WAL empty")
+	}
+}
+
+// logServingStats reports the epoch lifecycle counters and, when the
+// result cache is on, its hit/miss/evict accounting — the same numbers
+// /healthz and /v1/ingest/stats expose over HTTP.
+func logServingStats(srv *server.Server) {
+	es := srv.EpochStats()
+	log.Printf("epoch: seq=%d published=%d reclaimed=%d live=%d pinned=%d",
+		es.Seq, es.Published, es.Reclaimed, es.Live, es.Pins)
+	if cs, ok := srv.CacheStats(); ok {
+		log.Printf("cache: hits=%d misses=%d evictions=%d purged=%d entries=%d/%d",
+			cs.Hits, cs.Misses, cs.Evictions, cs.Purged, cs.Entries, cs.Cap)
 	}
 }

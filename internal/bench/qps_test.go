@@ -1,0 +1,46 @@
+package bench
+
+import "testing"
+
+// Tiny end-to-end run of all three serving modes: rows well-formed,
+// queries actually ran concurrently with ingest, the cache saw hits,
+// and hits were strictly faster than misses (the zero-locks-after-pin
+// acceptance signal at bench scale).
+func TestQPSBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke is not short")
+	}
+	rows, err := QPSBench(200, 20000, 500, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byMode := map[string]QPSRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+		if r.Queries == 0 || r.QueriesPerSec <= 0 || r.Users == 0 {
+			t.Errorf("%s: degenerate row %+v", r.Mode, r)
+		}
+	}
+	for _, m := range []string{"locked", "epoch", "epoch-cache"} {
+		if _, ok := byMode[m]; !ok {
+			t.Fatalf("mode %s missing", m)
+		}
+	}
+	if r := byMode["locked"]; r.CacheHits != 0 || r.EpochsPublished != 0 {
+		t.Errorf("locked row leaked epoch/cache state: %+v", r)
+	}
+	if r := byMode["epoch"]; r.EpochsPublished == 0 {
+		t.Errorf("epoch row published nothing: %+v", r)
+	}
+	cr := byMode["epoch-cache"]
+	if cr.CacheHits == 0 || cr.CacheMisses == 0 {
+		t.Fatalf("cache never exercised: %+v", cr)
+	}
+	if cr.HitMeanMicros >= cr.MissMeanMicros {
+		t.Errorf("cache hits not faster than misses: hit=%.1fµs miss=%.1fµs",
+			cr.HitMeanMicros, cr.MissMeanMicros)
+	}
+}

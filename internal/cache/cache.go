@@ -1,0 +1,213 @@
+// Package cache is the epoch-keyed result cache of the serving plane:
+// a bounded LRU over top-k answers whose keys carry the epoch sequence
+// number they were computed against. Consistency is structural, not
+// temporal — an epoch is immutable, so an answer computed against it
+// can never go stale *within* that epoch; publishing a new epoch
+// changes every key, and Purge then drops the superseded entries
+// wholesale. No per-entry TTLs, no invalidation protocol.
+//
+// Concurrent identical misses are deduplicated single-flight: the
+// first caller computes, the rest wait on its result (or their own
+// context), so a hot query under load costs one engine execution per
+// epoch instead of one per request.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"geofootprint/internal/core"
+)
+
+// Key identifies one cacheable answer: the epoch it was computed
+// against, the search method, k, and the exact query footprint in
+// canonical encoded form. Using the full encoding instead of a digest
+// makes collisions impossible — two distinct queries can never alias
+// to one entry, so a hit is always byte-identical to a recompute.
+type Key struct {
+	Epoch  uint64
+	Method string
+	K      int
+	Query  string
+}
+
+// FootprintKey encodes a footprint into the canonical Key.Query form:
+// the IEEE-754 bits of every rectangle coordinate and weight, in
+// region order. Footprints are MinX-sorted everywhere in the repo, so
+// equal footprints encode equally.
+func FootprintKey(f core.Footprint) string {
+	b := make([]byte, 0, 40*len(f))
+	var tmp [8]byte
+	for _, r := range f {
+		for _, v := range [5]float64{r.Rect.MinX, r.Rect.MinY, r.Rect.MaxX, r.Rect.MaxY, r.Weight} {
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+			b = append(b, tmp[:]...)
+		}
+	}
+	return string(b)
+}
+
+// Stats is a point-in-time snapshot of the cache counters, shaped for
+// /v1/ingest/stats, /healthz and operator logs.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Purged counts entries dropped by epoch invalidation (swaps).
+	Purged  uint64 `json:"purged"`
+	Entries int    `json:"entries"`
+	Cap     int    `json:"cap"`
+}
+
+type entry struct {
+	key Key
+	val any
+}
+
+// flight is one in-progress computation other callers can wait on.
+// val/err are written before done is closed and read only after.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is a bounded LRU with single-flight miss deduplication and
+// wholesale epoch invalidation. All methods are safe for concurrent
+// use. Cached values are shared across callers and must be treated as
+// immutable — which is exactly the contract of epoch-pinned results.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List            // front = most recently used
+	items   map[Key]*list.Element // value: *entry
+	flights map[Key]*flight
+	// floor is the lowest epoch still admitted; Purge raises it so a
+	// computation that was in flight across a swap cannot re-populate
+	// the cache with entries for a dead epoch.
+	floor uint64
+
+	hits, misses, evictions, purged atomic.Uint64
+}
+
+// New returns a cache bounded to capacity entries (minimum 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:     capacity,
+		ll:      list.New(),
+		items:   make(map[Key]*list.Element),
+		flights: make(map[Key]*flight),
+	}
+}
+
+// GetOrCompute returns the cached value for key, or computes it with
+// fn and caches it. The second return reports a cache hit (including
+// joining another caller's in-flight computation). Concurrent calls
+// with the same key run fn once; waiters whose ctx expires return
+// ctx's error without cancelling the computation. fn's error is
+// returned to the computing caller and never cached.
+func (c *Cache) GetOrCompute(ctx context.Context, key Key, fn func() (any, error)) (any, bool, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			v := el.Value.(*entry).val
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return v, true, nil
+		}
+		if fl, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if fl.err != nil {
+				// The computing caller failed (typically its own
+				// context); retry — the next loop either finds a
+				// value, joins a newer flight, or computes.
+				continue
+			}
+			c.hits.Add(1)
+			return fl.val, true, nil
+		}
+		fl := &flight{done: make(chan struct{})}
+		c.flights[key] = fl
+		c.mu.Unlock()
+		c.misses.Add(1)
+
+		val, err := fn()
+		c.mu.Lock()
+		delete(c.flights, key)
+		if err == nil && key.Epoch >= c.floor {
+			c.insertLocked(key, val)
+		}
+		c.mu.Unlock()
+		fl.val, fl.err = val, err
+		close(fl.done)
+		return val, false, err
+	}
+}
+
+// insertLocked adds key → val and evicts from the LRU tail past
+// capacity. Caller holds c.mu.
+func (c *Cache) insertLocked(key Key, val any) {
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*entry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Purge drops every entry computed against an epoch older than
+// minEpoch and raises the admission floor so late in-flight inserts
+// for those epochs are discarded. The server calls it with the new
+// sequence number at every publish: one swap, wholesale invalidation.
+func (c *Cache) Purge(minEpoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if minEpoch > c.floor {
+		c.floor = minEpoch
+	}
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*entry); e.key.Epoch < c.floor {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.purged.Add(1)
+		}
+		el = next
+	}
+}
+
+// Len returns the current number of entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	n := c.ll.Len()
+	c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Purged:    c.purged.Load(),
+		Entries:   n,
+		Cap:       c.cap,
+	}
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"geofootprint/internal/cache"
+	"geofootprint/internal/core"
+	"geofootprint/internal/geom"
+	"geofootprint/internal/search"
+	"geofootprint/internal/store"
+)
+
+func cachedTestDB(t *testing.T, users int) *store.FootprintDB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	ids := make([]int, users)
+	fps := make([]core.Footprint, users)
+	for u := 0; u < users; u++ {
+		ids[u] = u + 1
+		f := core.Footprint{}
+		for r := 0; r < 4; r++ {
+			x, y := rng.Float64()*0.9, rng.Float64()*0.9
+			f = append(f, core.Region{
+				Rect:   geom.Rect{MinX: x, MinY: y, MaxX: x + 0.06, MaxY: y + 0.06},
+				Weight: 1 + rng.Float64(),
+			})
+		}
+		fps[u] = f
+	}
+	db, err := store.FromFootprints("cached", ids, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// Cached answers must be byte-identical to uncached computation for
+// every search method. Since every method is itself exact (equal to
+// the serial user-centric oracle), it suffices that the cache returns
+// exactly what the engine computed — verified per method via a
+// miss/hit/direct triangle.
+func TestCachedResultsByteIdenticalAllMethods(t *testing.T) {
+	db := cachedTestDB(t, 60)
+	db.EnableSketches(0, 1)
+	q := append(core.Footprint(nil), db.Footprints[7]...)
+	ctx := context.Background()
+
+	methods := []struct {
+		name string
+		m    Method
+	}{
+		{"user-centric", MethodUserCentric},
+		{"linear", MethodLinear},
+		{"iterative", MethodIterative},
+		{"batch", MethodBatch},
+		{"sketch", MethodSketch},
+	}
+	for _, tc := range methods {
+		eng := New(db, Options{Workers: 2, Method: tc.m})
+		direct := eng.TopK(q, 10)
+		if len(direct) == 0 {
+			t.Fatalf("%s: empty direct result", tc.name)
+		}
+		c := cache.New(16)
+		key := cache.Key{Epoch: 1, Method: tc.name, K: 10, Query: cache.FootprintKey(q)}
+		compute := func() (any, error) { return eng.TopKCtx(ctx, q, 10) }
+
+		miss, hit1, err := c.GetOrCompute(ctx, key, compute)
+		if err != nil || hit1 {
+			t.Fatalf("%s: miss path hit=%v err=%v", tc.name, hit1, err)
+		}
+		hit, hit2, err := c.GetOrCompute(ctx, key, compute)
+		if err != nil || !hit2 {
+			t.Fatalf("%s: hit path hit=%v err=%v", tc.name, hit2, err)
+		}
+		if !reflect.DeepEqual(miss.([]search.Result), direct) {
+			t.Fatalf("%s: computed-through-cache result diverges from direct", tc.name)
+		}
+		if !reflect.DeepEqual(hit.([]search.Result), direct) {
+			t.Fatalf("%s: cached result diverges from direct", tc.name)
+		}
+	}
+}
+
+// View.TopKCached is the serving-path wrapper: transparent when the
+// cache is nil, hit-reporting when warm, and method-faithful (the
+// sketch engine's cached answers equal the default engine's).
+func TestViewTopKCached(t *testing.T) {
+	db := cachedTestDB(t, 50)
+	db.EnableSketches(0, 1)
+	v := NewView(db, 2)
+	q := append(core.Footprint(nil), db.Footprints[3]...)
+	ctx := context.Background()
+
+	bare, _, err := v.TopKCached(ctx, nil, 1, "", q, 8)
+	if err != nil || len(bare) == 0 {
+		t.Fatalf("nil-cache path: res=%v err=%v", bare, err)
+	}
+
+	c := cache.New(16)
+	// "" resolves to the canonical "user-centric" key, so the second
+	// method's first call is already warm.
+	wantFirstHit := map[string]bool{"": false, "user-centric": true, "sketch": false}
+	for _, method := range []string{"", "user-centric", "sketch"} {
+		first, hit, err := v.TopKCached(ctx, c, 1, method, q, 8)
+		if err != nil || hit != wantFirstHit[method] {
+			t.Fatalf("method %q first call: hit=%v err=%v", method, hit, err)
+		}
+		second, hit, err := v.TopKCached(ctx, c, 1, method, q, 8)
+		if err != nil || !hit {
+			t.Fatalf("method %q second call: hit=%v err=%v", method, hit, err)
+		}
+		if !reflect.DeepEqual(first, second) || !reflect.DeepEqual(first, bare) {
+			t.Fatalf("method %q cached answers diverge", method)
+		}
+	}
+	// "" and "user-centric" share one canonical cache key.
+	if st := c.Stats(); st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (\"\" and \"user-centric\" must share a key)", st.Misses)
+	}
+	if _, err := v.Engine("quantum"); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}

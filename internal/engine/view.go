@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"geofootprint/internal/cache"
+	"geofootprint/internal/core"
+	"geofootprint/internal/search"
+	"geofootprint/internal/store"
+)
+
+// View bundles everything one epoch needs to answer queries: the
+// frozen database, its user-centric index, and the engines for the
+// HTTP-selectable methods. A View is built once per published epoch —
+// off the query path, on the write side — and is immutable afterwards,
+// so any number of queries can share it lock-free.
+type View struct {
+	db  *store.FootprintDB
+	idx *search.UserCentricIndex
+	uc  *QueryEngine
+	sk  *QueryEngine // nil when the database's sketch layer is disabled
+}
+
+// NewView indexes db and builds its query engines. db must already be
+// frozen (no concurrent mutation); enable the sketch layer before
+// freezing — NewView never mutates db, so a disabled layer stays
+// disabled and Engine("sketch") reports it instead.
+func NewView(db *store.FootprintDB, workers int) *View {
+	idx := search.NewUserCentricIndex(db, search.BuildSTR, 0)
+	v := &View{
+		db:  db,
+		idx: idx,
+		uc:  New(db, Options{Workers: workers, UserCentric: idx}),
+	}
+	if db.SketchesEnabled() {
+		v.sk = New(db, Options{Workers: workers, UserCentric: idx, Method: MethodSketch})
+	}
+	return v
+}
+
+// DB returns the view's frozen database (read-only).
+func (v *View) DB() *store.FootprintDB { return v.db }
+
+// Index returns the view's user-centric index.
+func (v *View) Index() *search.UserCentricIndex { return v.idx }
+
+// Engine maps a request's method name to the engine executing it.
+func (v *View) Engine(method string) (*QueryEngine, error) {
+	switch method {
+	case "", "user-centric":
+		return v.uc, nil
+	case "sketch":
+		if v.sk == nil {
+			return nil, fmt.Errorf("method %q unavailable: sketch layer disabled", method)
+		}
+		return v.sk, nil
+	default:
+		return nil, fmt.Errorf("unknown method %q (want \"user-centric\" or \"sketch\")", method)
+	}
+}
+
+// TopKCached answers a top-k query through the epoch-keyed result
+// cache: a hit returns the previously computed (and, the epoch being
+// immutable, still exact) answer; a miss computes on the selected
+// engine and populates the cache. c == nil bypasses caching. The
+// second return reports a hit. The returned slice is shared with the
+// cache and other callers — read-only.
+func (v *View) TopKCached(ctx context.Context, c *cache.Cache, epoch uint64, method string, q core.Footprint, k int) ([]search.Result, bool, error) {
+	eng, err := v.Engine(method)
+	if err != nil {
+		return nil, false, err
+	}
+	if c == nil {
+		res, err := eng.TopKCtx(ctx, q, k)
+		return res, false, err
+	}
+	if method == "" {
+		method = "user-centric"
+	}
+	key := cache.Key{Epoch: epoch, Method: method, K: k, Query: cache.FootprintKey(q)}
+	val, hit, err := c.GetOrCompute(ctx, key, func() (any, error) {
+		return eng.TopKCtx(ctx, q, k)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	res, _ := val.([]search.Result)
+	return res, hit, nil
+}

@@ -16,6 +16,9 @@
 //     API on durability paths.
 //   - ctxcancel       — PR 5's cancellation contract: loops in
 //     //geo:cancellable functions must poll ctx.
+//   - epochmut        — PR 6's MVCC contract: databases reached
+//     through an Epoch or EpochBuilder's DB() are read lock-free and
+//     must not be mutated outside internal/store's builder seam.
 //
 // Suppression: a diagnostic is suppressed by a comment
 // `//lint:ignore <analyzer> <reason>` on the offending line or the
@@ -46,6 +49,7 @@ var Analyzers = []*analysis.Analyzer{
 	SortedFootprint,
 	ErrDiscard,
 	CtxCancel,
+	EpochMut,
 }
 
 // Finding is one surfaced (non-suppressed) diagnostic.

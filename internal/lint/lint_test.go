@@ -30,6 +30,11 @@ func TestSortedFootprint(t *testing.T) {
 		"./internal/lint/testdata/src/sortedfootprint/a")
 }
 
+func TestEpochMut(t *testing.T) {
+	analysistest.Run(t, lint.EpochMut,
+		"./internal/lint/testdata/src/epochmut/a")
+}
+
 func TestCtxCancel(t *testing.T) {
 	analysistest.Run(t, lint.CtxCancel,
 		"./internal/lint/testdata/src/ctxcancel/a")

@@ -56,16 +56,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ia, okA := s.db.IndexOf(a)
-	ib, okB := s.db.IndexOf(b)
+	ep, v := s.acquire()
+	defer ep.Release()
+	db := v.DB()
+	ia, okA := db.IndexOf(a)
+	ib, okB := db.IndexOf(b)
 	if !okA || !okB {
 		writeError(w, http.StatusNotFound, "unknown user")
 		return
 	}
-	ex := search.Explain(s.db.Footprints[ia], s.db.Footprints[ib],
-		s.db.Norms[ia], s.db.Norms[ib], pairs)
+	ex := search.Explain(db.Footprints[ia], db.Footprints[ib],
+		db.Norms[ia], db.Norms[ib], pairs)
 	out := explanationJSON{
 		Similarity:    ex.Similarity,
 		PairsExamined: ex.PairsExamined,
@@ -95,7 +96,9 @@ type userListJSON struct {
 }
 
 // handleListUsers pages through the corpus: ?offset= and ?limit=
-// (default 100, max 1000). Tombstoned users are skipped.
+// (default 100, max 1000). Tombstoned users are skipped. The page is
+// read from one pinned epoch, so it is internally consistent even
+// under concurrent mutation.
 func (s *Server) handleListUsers(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	offset, limit := 0, 100
@@ -112,36 +115,43 @@ func (s *Server) handleListUsers(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := userListJSON{Total: s.db.Len(), Next: -1, Users: []userSummaryJSON{}}
+	ep, v := s.acquire()
+	defer ep.Release()
+	db := v.DB()
+	out := userListJSON{Total: db.Len(), Next: -1, Users: []userSummaryJSON{}}
 	i := offset
-	for ; i < s.db.Len() && len(out.Users) < limit; i++ {
-		if len(s.db.Footprints[i]) == 0 {
+	for ; i < db.Len() && len(out.Users) < limit; i++ {
+		if len(db.Footprints[i]) == 0 {
 			continue
 		}
 		out.Users = append(out.Users, userSummaryJSON{
-			ID:      s.db.IDs[i],
-			Regions: len(s.db.Footprints[i]),
-			Norm:    s.db.Norms[i],
+			ID:      db.IDs[i],
+			Regions: len(db.Footprints[i]),
+			Norm:    db.Norms[i],
 		})
 	}
-	if i < s.db.Len() {
+	if i < db.Len() {
 		out.Next = i
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 // SetLabels installs (or replaces) the user labels backing the
-// /v1/classify endpoint, with the given neighbourhood size.
+// /v1/classify endpoint, with the given neighbourhood size, and
+// publishes a new epoch carrying the classifier.
 func (s *Server) SetLabels(labels map[int]string, k int) error {
-	cls, err := classify.New(s.db, s.idx, labels, k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Validate shape up front (k, non-empty labels) so a bad call
+	// leaves the serving state untouched.
+	ep, v := s.acquire()
+	_, err := classify.New(v.DB(), v.Index(), labels, k)
+	ep.Release()
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	s.cls = cls
-	s.mu.Unlock()
+	s.labels, s.labelsK = labels, k
+	s.publishLocked()
 	return nil
 }
 
@@ -160,9 +170,9 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.RLock()
-	pairs := search.TopSimilarPairs(s.idx, k, 0)
-	s.mu.RUnlock()
+	ep, v := s.acquire()
+	pairs := search.TopSimilarPairs(v.Index(), k, 0)
+	ep.Release()
 	out := make([]pairJSON, len(pairs))
 	for i, p := range pairs {
 		out[i] = pairJSON{A: p.A, B: p.B, Similarity: p.Score}
@@ -182,13 +192,6 @@ type classifyResponse struct {
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	cls := s.cls
-	s.mu.RUnlock()
-	if cls == nil {
-		writeError(w, http.StatusServiceUnavailable, "no labels registered")
-		return
-	}
 	var req classifyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad body: %v", err)
@@ -199,9 +202,13 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad footprint: %v", err)
 		return
 	}
-	s.mu.RLock()
-	p := cls.Classify(f)
-	s.mu.RUnlock()
+	ep, v := s.acquire()
+	defer ep.Release()
+	if v.cls == nil {
+		writeError(w, http.StatusServiceUnavailable, "no labels registered")
+		return
+	}
+	p := v.cls.Classify(f)
 	writeJSON(w, http.StatusOK, classifyResponse{
 		Label: p.Label, Score: p.Score, Votes: p.Votes, Neighbours: p.Neighbours,
 	})

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 
+	"geofootprint/internal/cache"
 	"geofootprint/internal/core"
 	"geofootprint/internal/ingest"
 	"geofootprint/internal/store"
@@ -16,20 +17,22 @@ import (
 //
 //	POST /v1/ingest        NDJSON sample batch; 202 + LSN on success,
 //	                       429 + Retry-After under backpressure
-//	GET  /v1/ingest/stats  pipeline counters
+//	GET  /v1/ingest/stats  pipeline + epoch + cache counters
 //
 // The pipeline's apply goroutine lands finished RoIs through a sink
-// that takes the server's write lock and incrementally maintains the
-// user-centric index, so queries on all methods keep serving — and
-// stay exact — while samples stream in.
+// that takes the server's write mutex, applies the whole batch to the
+// epoch builder, and publishes the next epoch — one atomic swap per
+// batch. Queries on all methods keep serving lock-free against the
+// previous epoch while the batch lands, and stay exact.
 
 // maxIngestSamples bounds one POST /v1/ingest body; clients split
 // larger loads into multiple requests (and get per-batch LSNs).
 const maxIngestSamples = 10000
 
 // serverSink is the ingest.Sink that applies pipeline output to the
-// serving database: mutations behind the write lock, index maintained
-// per touched user — the same discipline as PUT /v1/users/{id}.
+// serving state: mutations into the epoch builder behind the write
+// mutex, one epoch publish per batch — the same discipline as
+// PUT /v1/users/{id}.
 type serverSink struct {
 	s         *Server
 	weighting core.Weighting
@@ -40,15 +43,18 @@ func (k serverSink) ApplyBatch(updates []ingest.UserRoIs) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, u := range updates {
-		i := s.db.AppendRoIs(u.User, core.FromRoIs(u.RoIs, k.weighting))
-		s.idx.UpdateUser(i)
+		s.builder.AppendRoIs(u.User, core.FromRoIs(u.RoIs, k.weighting))
 	}
+	s.publishLocked()
 }
 
 func (k serverSink) WithDB(fn func(db *store.FootprintDB)) {
 	k.s.mu.Lock()
 	defer k.s.mu.Unlock()
-	fn(k.s.db)
+	// The builder's working database always equals the latest
+	// published epoch (every mutation publishes under mu), so the
+	// checkpoint snapshot encodes exactly the served state.
+	fn(k.s.builder.DB())
 }
 
 // AttachPipeline starts a durable ingestion pipeline over the server's
@@ -108,6 +114,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// ingestStatsJSON extends the pipeline counters with serving-plane
+// observability: epoch lifecycle (swap cadence, pinned queries) and
+// result-cache efficacy. The pipeline fields stay at the top level
+// (embedding), so existing consumers keep their schema.
+type ingestStatsJSON struct {
+	ingest.Stats
+	Epoch store.EpochStats `json:"epoch"`
+	Cache *cache.Stats     `json:"cache,omitempty"`
+}
+
 func (s *Server) handleIngestStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.pipe.Stats())
+	out := ingestStatsJSON{Stats: s.pipe.Stats(), Epoch: s.epochs.Stats()}
+	if st, ok := s.CacheStats(); ok {
+		out.Cache = &st
+	}
+	writeJSON(w, http.StatusOK, out)
 }

@@ -136,10 +136,10 @@ func TestIngestBackpressure429(t *testing.T) {
 	if err := p.Drain(); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.db.IndexOf(9002); !ok {
+	if _, ok := s.builder.DB().IndexOf(9002); !ok {
 		t.Fatal("accepted batch was not applied")
 	}
-	if _, ok := s.db.IndexOf(9003); ok {
+	if _, ok := s.builder.DB().IndexOf(9003); ok {
 		t.Fatal("rejected batch was applied")
 	}
 }
@@ -210,9 +210,10 @@ func TestConcurrentQueriesDuringMutation(t *testing.T) {
 		}
 	}()
 	// Engine readers for the methods the HTTP API does not select
-	// (linear, iterative, batch), under the same read lock the handlers
-	// take. Engines are rebuilt per iteration: index construction races
-	// mutation in real deployments that refresh indexes online.
+	// (linear, iterative, batch), each against a pinned epoch — no
+	// lock, like the handlers. Engines are rebuilt per iteration:
+	// index construction over a frozen epoch is exactly how a
+	// deployment would refresh auxiliary indexes online.
 	for _, m := range []engine.Method{engine.MethodLinear, engine.MethodIterative, engine.MethodBatch} {
 		wg.Add(1)
 		go func(m engine.Method) {
@@ -223,11 +224,11 @@ func TestConcurrentQueriesDuringMutation(t *testing.T) {
 					return
 				default:
 				}
-				s.mu.RLock()
-				e := engine.New(s.db, engine.Options{Workers: 2, Method: m})
-				q := s.db.Footprints[0]
-				res := e.TopK(q, 5)
-				s.mu.RUnlock()
+				ep := s.epochs.Acquire()
+				db := ep.DB()
+				e := engine.New(db, engine.Options{Workers: 2, Method: m})
+				res := e.TopK(db.Footprints[0], 5)
+				ep.Release()
 				for i := 1; i < len(res); i++ {
 					if res[i].Score > res[i-1].Score {
 						report("method %d: unsorted results %v", m, res)

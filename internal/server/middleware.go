@@ -48,6 +48,12 @@ type Options struct {
 	MaxTimeout time.Duration
 	// Logger receives panic reports; nil selects log.Default().
 	Logger *log.Logger
+	// CacheSize bounds the epoch-keyed top-k result cache (entries).
+	// <= 0 disables caching — the zero value preserves the uncached
+	// behaviour of New. Cached answers are byte-identical to computed
+	// ones (the cache is keyed by epoch, and epochs are immutable), so
+	// enabling it is purely a performance knob.
+	CacheSize int
 }
 
 // DefaultMaxTimeout caps client-requested query deadlines when

@@ -47,7 +47,10 @@ func TestQueryTimeoutMaps503(t *testing.T) {
 	s, _ := testServer(t)
 	s.mux.HandleFunc("GET /v1/slow", func(w http.ResponseWriter, r *http.Request) {
 		<-r.Context().Done() // the query "ran long"
-		res, err := s.eng.TopKCtx(r.Context(), s.db.Footprints[0], 3)
+		ep, v := s.acquire()
+		defer ep.Release()
+		eng, _ := v.Engine("")
+		res, err := eng.TopKCtx(r.Context(), v.DB().Footprints[0], 3)
 		if writeQueryCtxErr(w, err) {
 			return
 		}

@@ -6,7 +6,7 @@
 //
 // Routes (Go 1.22 pattern syntax):
 //
-//	GET    /healthz                  liveness + corpus size
+//	GET    /healthz                  liveness + corpus size + epoch/cache stats
 //	GET    /v1/users/{id}            footprint summary
 //	GET    /v1/users/{id}/similar    top-k similar users (?k=, ?exclude_self=, ?method=)
 //	GET    /v1/similarity            pairwise score (?a=, ?b=)
@@ -17,10 +17,16 @@
 // With AttachPipeline (see ingest.go):
 //
 //	POST   /v1/ingest                NDJSON sample batch → WAL → footprints
-//	GET    /v1/ingest/stats          ingestion pipeline counters
+//	GET    /v1/ingest/stats          ingestion pipeline + epoch + cache counters
 //
-// Reads run concurrently; mutations serialise behind a write lock and
-// incrementally maintain the search index.
+// Serving is epoch-based MVCC (store.EpochStore): every query pins the
+// current immutable epoch on entry and runs lock-free against its
+// frozen database, index and engines; mutations serialise behind a
+// write mutex, apply to a private builder, and publish the next epoch
+// with one atomic pointer swap — so reads never contend with writes,
+// and a swap is immediately visible to the next query (read your
+// writes). Top-k answers are cached per epoch (internal/cache) when a
+// cache is configured; the swap invalidates the cache wholesale.
 package server
 
 import (
@@ -31,33 +37,34 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"geofootprint/internal/cache"
 	"geofootprint/internal/classify"
 	"geofootprint/internal/core"
 	"geofootprint/internal/engine"
 	"geofootprint/internal/geom"
 	"geofootprint/internal/ingest"
-	"geofootprint/internal/search"
 	"geofootprint/internal/store"
 )
 
-// Server wraps a FootprintDB with a user-centric index behind HTTP.
-// Top-k requests execute on the parallel query engine, which shards
-// candidate refinement across workers while returning results
-// byte-identical to the serial search path.
+// Server wraps a FootprintDB behind HTTP with epoch-based MVCC
+// serving: queries pin an immutable published epoch (lock-free),
+// mutations go through the epoch builder under mu and publish a new
+// epoch per request or ingest batch.
 type Server struct {
-	mu  sync.RWMutex
-	db  *store.FootprintDB
-	idx *search.UserCentricIndex
-	eng *engine.QueryEngine
-	// engSketch shares db and idx with eng but executes the sketch
-	// filter-and-refine path; selected per request via ?method=sketch
-	// (GET) or "method":"sketch" (POST). Results are identical to eng's
-	// — the sketch method is exact — so the choice is purely a
-	// performance knob.
-	engSketch *engine.QueryEngine
-	cls       *classify.Classifier // nil until SetLabels
-	pipe      *ingest.Pipeline     // nil until AttachPipeline
-	mux       *http.ServeMux
+	// mu serialises the write path only: builder mutations, Freeze,
+	// Publish, and label installation. No read path ever takes it.
+	mu      sync.Mutex
+	builder *store.EpochBuilder
+	epochs  *store.EpochStore
+	cache   *cache.Cache // nil when Options.CacheSize <= 0
+
+	// labels back /v1/classify (SetLabels); a classifier over each
+	// epoch's view is rebuilt at publish time.
+	labels  map[int]string
+	labelsK int
+
+	pipe *ingest.Pipeline // nil until AttachPipeline
+	mux  *http.ServeMux
 
 	// Overload safety (middleware.go): options, the top-k admission
 	// gate (nil when unlimited), and the shutdown drain flag.
@@ -66,28 +73,46 @@ type Server struct {
 	draining atomic.Bool
 }
 
+// epochView is the aux value attached to every published epoch: the
+// prebuilt index/engine view plus the optional classifier. Immutable
+// after publish, shared lock-free by all queries pinning the epoch.
+type epochView struct {
+	*engine.View
+	cls *classify.Classifier // nil until SetLabels
+}
+
 // New builds a server over db with default overload options (no
-// admission gate, default deadline cap). The sketch layer is enabled
-// up front so mutations maintain it from the first request on.
+// admission gate, default deadline cap, no result cache). The sketch
+// layer is enabled up front — before the first epoch freezes — so
+// every epoch carries a sketch engine and mutations maintain the
+// layer from the first request on.
 func New(db *store.FootprintDB) *Server {
 	return NewWithOptions(db, Options{})
 }
 
-// NewWithOptions builds a server over db, indexing it immediately,
-// with explicit overload behaviour.
+// NewWithOptions builds a server over db, publishing the first epoch
+// immediately, with explicit overload and caching behaviour.
 func NewWithOptions(db *store.FootprintDB, opts Options) *Server {
-	idx := search.NewUserCentricIndex(db, search.BuildSTR, 0)
 	s := &Server{
-		db:        db,
-		idx:       idx,
-		eng:       engine.New(db, engine.Options{UserCentric: idx}),
-		engSketch: engine.New(db, engine.Options{UserCentric: idx, Method: engine.MethodSketch}),
-		mux:       http.NewServeMux(),
-		opts:      opts.withDefaults(),
+		builder: store.NewEpochBuilder(db),
+		epochs:  store.NewEpochStore(),
+		mux:     http.NewServeMux(),
+		opts:    opts.withDefaults(),
 	}
 	if n := s.opts.MaxInflightQueries; n > 0 {
 		s.gate = make(chan struct{}, n)
 	}
+	if n := s.opts.CacheSize; n > 0 {
+		s.cache = cache.New(n)
+	}
+	// The sketch layer must exist before the first freeze: published
+	// epochs are immutable, so it cannot be enabled retroactively.
+	if !db.SketchesEnabled() {
+		s.builder.EnableSketches(0, 0)
+	}
+	s.mu.Lock()
+	s.publishLocked()
+	s.mu.Unlock()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/users/{id}", s.handleGetUser)
 	s.mux.HandleFunc("GET /v1/users/{id}/similar", s.gated(s.handleSimilar))
@@ -97,6 +122,49 @@ func NewWithOptions(db *store.FootprintDB, opts Options) *Server {
 	s.mux.HandleFunc("DELETE /v1/users/{id}", s.handleDeleteUser)
 	s.registerExtras()
 	return s
+}
+
+// publishLocked freezes the builder, assembles the epoch's serving
+// view (index, engines, classifier), publishes it with one pointer
+// swap, and invalidates the result cache. Caller holds s.mu. Building
+// the view happens here — on the write path — precisely so the query
+// path never constructs or locks anything.
+func (s *Server) publishLocked() {
+	db := s.builder.Freeze()
+	v := engine.NewView(db, 0)
+	aux := &epochView{View: v}
+	if s.labels != nil {
+		// Validated when installed; classify.New over a fresh view of
+		// the same labels can only fail if every labelled user vanished,
+		// in which case classification correctly degrades to 503.
+		if cls, err := classify.New(db, v.Index(), s.labels, s.labelsK); err == nil {
+			aux.cls = cls
+		}
+	}
+	ep := s.epochs.Publish(db, aux)
+	if s.cache != nil {
+		s.cache.Purge(ep.Seq())
+	}
+}
+
+// acquire pins the current epoch for one request. The caller must
+// Release the epoch when done (defer at handler entry). This is the
+// only synchronisation on the query hot path.
+func (s *Server) acquire() (*store.Epoch, *epochView) {
+	ep := s.epochs.Acquire()
+	return ep, ep.Aux().(*epochView)
+}
+
+// EpochStats returns the serving plane's epoch lifecycle counters.
+func (s *Server) EpochStats() store.EpochStats { return s.epochs.Stats() }
+
+// CacheStats returns the result-cache counters; ok is false when no
+// cache is configured.
+func (s *Server) CacheStats() (cache.Stats, bool) {
+	if s.cache == nil {
+		return cache.Stats{}, false
+	}
+	return s.cache.Stats(), true
 }
 
 // Wire types.
@@ -124,18 +192,6 @@ type queryJSON struct {
 	// Method selects the search path: "" or "user-centric" for the
 	// default engine, "sketch" for the sketch filter-and-refine engine.
 	Method string `json:"method,omitempty"`
-}
-
-// engineFor maps a request's method name to the engine executing it.
-func (s *Server) engineFor(method string) (*engine.QueryEngine, error) {
-	switch method {
-	case "", "user-centric":
-		return s.eng, nil
-	case "sketch":
-		return s.engSketch, nil
-	default:
-		return nil, fmt.Errorf("unknown method %q (want \"user-centric\" or \"sketch\")", method)
-	}
 }
 
 type errorJSON struct {
@@ -186,11 +242,15 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	users, regions := s.db.Len(), s.db.NumRegions()
-	s.mu.RUnlock()
+	ep, v := s.acquire()
+	users, regions := v.DB().Len(), v.DB().NumRegions()
+	ep.Release()
 	out := map[string]interface{}{
 		"status": "ok", "users": users, "regions": regions,
+		"epoch": s.epochs.Stats(),
+	}
+	if st, ok := s.CacheStats(); ok {
+		out["cache"] = st
 	}
 	// Surface WAL health here, not just in /v1/ingest/stats: a sealed
 	// log means the server still answers queries but cannot make new
@@ -220,18 +280,19 @@ func (s *Server) handleGetUser(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad user id: %v", err)
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	i, ok := s.db.IndexOf(id)
+	ep, v := s.acquire()
+	defer ep.Release()
+	db := v.DB()
+	i, ok := db.IndexOf(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown user %d", id)
 		return
 	}
-	m := s.db.MBRs[i]
+	m := db.MBRs[i]
 	writeJSON(w, http.StatusOK, userJSON{
 		ID:      id,
-		Regions: fromFootprint(s.db.Footprints[i]),
-		Norm:    s.db.Norms[i],
+		Regions: fromFootprint(db.Footprints[i]),
+		Norm:    db.Norms[i],
 		MBR:     [4]float64{m.MinX, m.MinY, m.MaxX, m.MaxY},
 	})
 }
@@ -250,15 +311,11 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	excludeSelf := r.URL.Query().Get("exclude_self") == "true"
-	eng, err := s.engineFor(r.URL.Query().Get("method"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
+	method := r.URL.Query().Get("method")
 
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	i, ok := s.db.IndexOf(id)
+	ep, v := s.acquire()
+	defer ep.Release()
+	i, ok := v.DB().IndexOf(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown user %d", id)
 		return
@@ -267,9 +324,15 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	if excludeSelf {
 		want++
 	}
-	res, err := eng.TopKCtx(r.Context(), s.db.Footprints[i], want)
-	if writeQueryCtxErr(w, err) {
-		return
+	res, _, err := v.TopKCached(r.Context(), s.cache, ep.Seq(), method, v.DB().Footprints[i], want)
+	if err != nil {
+		if _, methodErr := v.Engine(method); methodErr != nil {
+			writeError(w, http.StatusBadRequest, "%v", methodErr)
+			return
+		}
+		if writeQueryCtxErr(w, err) {
+			return
+		}
 	}
 	out := make([]resultJSON, 0, k)
 	for _, rr := range res {
@@ -292,16 +355,17 @@ func (s *Server) handlePairwise(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "need integer ?a= and ?b=")
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ia, okA := s.db.IndexOf(a)
-	ib, okB := s.db.IndexOf(b)
+	ep, v := s.acquire()
+	defer ep.Release()
+	db := v.DB()
+	ia, okA := db.IndexOf(a)
+	ib, okB := db.IndexOf(b)
 	if !okA || !okB {
 		writeError(w, http.StatusNotFound, "unknown user")
 		return
 	}
-	sim := core.SimilarityJoin(s.db.Footprints[ia], s.db.Footprints[ib],
-		s.db.Norms[ia], s.db.Norms[ib])
+	sim := core.SimilarityJoin(db.Footprints[ia], db.Footprints[ib],
+		db.Norms[ia], db.Norms[ib])
 	writeJSON(w, http.StatusOK, map[string]float64{"similarity": sim})
 }
 
@@ -320,16 +384,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad footprint: %v", err)
 		return
 	}
-	eng, err := s.engineFor(q.Method)
+	ep, v := s.acquire()
+	defer ep.Release()
+	res, _, err := v.TopKCached(r.Context(), s.cache, ep.Seq(), q.Method, f, q.K)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	s.mu.RLock()
-	res, err := eng.TopKCtx(r.Context(), f, q.K)
-	s.mu.RUnlock()
-	if writeQueryCtxErr(w, err) {
-		return
+		if _, methodErr := v.Engine(q.Method); methodErr != nil {
+			writeError(w, http.StatusBadRequest, "%v", methodErr)
+			return
+		}
+		if writeQueryCtxErr(w, err) {
+			return
+		}
 	}
 	out := make([]resultJSON, len(res))
 	for i, rr := range res {
@@ -355,8 +420,8 @@ func (s *Server) handlePutUser(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	u := s.db.Upsert(id, f)
-	s.idx.UpdateUser(u)
+	s.builder.Upsert(id, f)
+	s.publishLocked()
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]interface{}{"id": id, "regions": len(f)})
 }
@@ -372,12 +437,13 @@ func (s *Server) handleDeleteUser(w http.ResponseWriter, r *http.Request) {
 	// A tombstoned user still resolves in the database (dense
 	// indexes stay stable); treat an already-empty footprint as
 	// absent so deletes are not silently idempotent.
-	u, ok := s.db.IndexOf(id)
-	if !ok || len(s.db.Footprints[u]) == 0 {
+	db := s.builder.DB()
+	u, ok := db.IndexOf(id)
+	if !ok || len(db.Footprints[u]) == 0 {
 		writeError(w, http.StatusNotFound, "unknown user %d", id)
 		return
 	}
-	s.db.Remove(id)
-	s.idx.UpdateUser(u)
+	s.builder.Remove(id)
+	s.publishLocked()
 	writeJSON(w, http.StatusOK, map[string]interface{}{"id": id, "deleted": true})
 }

@@ -4,40 +4,18 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"geofootprint/internal/core"
-	"geofootprint/internal/geom"
 	"geofootprint/internal/store"
 )
 
 func testServer(t *testing.T) (*Server, *store.FootprintDB) {
 	t.Helper()
-	rng := rand.New(rand.NewSource(7))
-	var fps []core.Footprint
-	var ids []int
-	for u := 0; u < 30; u++ {
-		cx, cy := rng.Float64()*0.8, rng.Float64()*0.8
-		f := core.Footprint{}
-		for r := 0; r < 3; r++ {
-			x, y := cx+rng.Float64()*0.05, cy+rng.Float64()*0.05
-			f = append(f, core.Region{
-				Rect:   geom.Rect{MinX: x, MinY: y, MaxX: x + 0.02, MaxY: y + 0.02},
-				Weight: 1,
-			})
-		}
-		core.SortByMinX(f)
-		fps = append(fps, f)
-		ids = append(ids, u+100)
-	}
-	db, err := store.FromFootprints("srv", ids, fps)
-	if err != nil {
-		t.Fatal(err)
-	}
+	db := testCorpus(t) // epoch_test.go: the deterministic seed corpus
 	return New(db), db
 }
 

@@ -201,14 +201,23 @@ func (db *FootprintDB) Len() int { return len(db.IDs) }
 // IndexOf returns the dense index of the user with the given external
 // ID, or false when absent.
 func (db *FootprintDB) IndexOf(id int) (int, bool) {
-	if db.byID == nil {
-		db.byID = make(map[int]int, len(db.IDs))
-		for i, uid := range db.IDs {
-			db.byID[uid] = i
-		}
-	}
+	db.ensureByID()
 	i, ok := db.byID[id]
 	return i, ok
+}
+
+// ensureByID materialises the lazy ID → index map. EpochBuilder.Freeze
+// calls it before publishing a snapshot so concurrent lock-free
+// readers never trigger (and race) the lazy build.
+func (db *FootprintDB) ensureByID() {
+	if db.byID != nil {
+		return
+	}
+	m := make(map[int]int, len(db.IDs))
+	for i, uid := range db.IDs {
+		m[uid] = i
+	}
+	db.byID = m
 }
 
 // NumRegions returns the total number of footprint regions across all

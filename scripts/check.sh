@@ -25,8 +25,10 @@ go vet -copylocks ./internal/store/... ./internal/wal/... ./internal/ingest/... 
 # hotalloc (allocation in //geo:hotpath kernels), sortedfootprint
 # (FootprintDB slice writes outside internal/store), errdiscard
 # (dropped Sync/Close/WAL errors), ctxcancel (loops in
-# //geo:cancellable functions that never poll ctx). Any finding fails
-# the gate; suppressions need an inline justification.
+# //geo:cancellable functions that never poll ctx), epochmut
+# (mutation of epoch-published databases outside the internal/store
+# builder seam). Any finding fails the gate; suppressions need an
+# inline justification.
 echo "== geolint ./... =="
 go run ./cmd/geolint ./...
 
@@ -40,11 +42,14 @@ echo "== go build -tags strictsort ./... =="
 go build -tags strictsort ./...
 
 # The chaos suite runs inside `go test -race ./...` below; this
-# focused pass runs it first so a durability regression fails the gate
-# before the (longer) full race pass, with a log line naming it.
-echo "== chaos: fault-injection & crash-recovery suite (-race) =="
-go test -race -run '(Fault|Chaos|Crash|Seal)' \
-	./internal/faultfs/... ./internal/wal/... ./internal/ingest/... ./internal/server/...
+# focused pass runs it first so a durability or epoch-lifecycle
+# regression fails the gate before the (longer) full race pass, with a
+# log line naming it. The Epoch tests race lock-free queries against
+# swap/reclaim and PUT-driven republish, so -race is the whole point.
+echo "== chaos: fault-injection, crash-recovery & epoch-swap suite (-race) =="
+go test -race -run '(Fault|Chaos|Crash|Seal|Epoch)' \
+	./internal/faultfs/... ./internal/wal/... ./internal/ingest/... \
+	./internal/server/... ./internal/store/... ./internal/cache/...
 
 echo "== go test -race ./... =="
 go test -race ./...
