@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check test lint race chaos bench-fig3a bench-sketch bench-ingest bench-qps benchdiff clean
+.PHONY: check test lint race chaos bench-fig3a bench-sketch bench-ingest bench-qps bench-restart benchdiff clean
 
 check:
 	./scripts/check.sh
@@ -34,7 +34,8 @@ race:
 chaos:
 	$(GO) test -race -run '(Fault|Chaos|Crash|Seal|Epoch)' \
 		./internal/faultfs/... ./internal/wal/... ./internal/ingest/... \
-		./internal/server/... ./internal/store/... ./internal/cache/...
+		./internal/server/... ./internal/store/... ./internal/cache/... \
+		./internal/colstore/...
 
 # Regenerate the committed BENCH_fig3a.json evidence (serial vs
 # parallel batched top-k at geobench scale 0.05).
@@ -57,6 +58,12 @@ bench-ingest:
 # epoch MVCC, epoch MVCC + result cache).
 bench-qps:
 	$(GO) run ./cmd/geobench -exp qps -scale 0.05 -json .
+
+# Regenerate the committed BENCH_restart.json evidence (cold-start to
+# first answered request per snapshot format/load path: gob decode vs
+# columnar read vs columnar mmap, plus flat-kernel scan throughput).
+bench-restart:
+	$(GO) run ./cmd/geobench -exp restart -scale 0.05 -json .
 
 # Compare two BENCH_<exp>.json reports; fails on >15% wall-clock
 # regression of any method. Usage:

@@ -47,7 +47,7 @@ func main() {
 	log.SetPrefix("geobench: ")
 
 	exp := flag.String("exp", "all",
-		"experiment: table1, table2, table3, table4, fig3a, fig3b, sketch, ingest, qps, mbr-sensitivity, tuning, weighted, grid, cluster-methods, scale-sweep, k-sensitivity or all")
+		"experiment: table1, table2, table3, table4, fig3a, fig3b, sketch, ingest, qps, restart, mbr-sensitivity, tuning, weighted, grid, cluster-methods, scale-sweep, k-sensitivity or all")
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's user counts (1.0 = full size)")
 	partsFlag := flag.String("parts", "A,B,C,D", "comma-separated parts to run")
 	queries := flag.Int("queries", 50, "query users for table3 (paper: 200)")
@@ -297,6 +297,32 @@ func main() {
 		fmt.Println("\ncharacteristic-region map (digit = cluster, '.' = shared/unvisited):")
 		fmt.Print(res.ASCIIMap)
 		fmt.Println()
+	}
+
+	// The restart benchmark saves each part's database in both snapshot
+	// formats to a temp dir and times cold-start-to-first-query per
+	// load path, plus the flat-kernel scan throughput. Disk-heavy, so
+	// it only runs when requested explicitly.
+	if *exp == "restart" {
+		fmt.Println("== Restart: cold-start to first query, per snapshot format / load path ==")
+		fmt.Printf("%-5s %8s %10s %10s %12s %12s %12s %9s %12s %12s %12s %12s\n",
+			"part", "users", "gob MB", "col MB", "gob (s)", "col-read", "col-mmap", "speedup",
+			"join AoS µs", "join cols", "dot AoS µs", "dot flat")
+		var rows []bench.RestartRow
+		for _, p := range parts {
+			r, err := bench.RestartBench(get(p), *workers, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, r)
+			fmt.Printf("%-5s %8d %10.1f %10.1f %12s %12s %12s %8.1fx %12.0f %12.0f %12.0f %12.0f\n",
+				r.Part, r.Users, float64(r.GobBytes)/1e6, float64(r.ColumnarBytes)/1e6,
+				bench.FormatSeconds(r.GobColdSeconds), bench.FormatSeconds(r.ColReadColdSeconds),
+				bench.FormatSeconds(r.ColMmapColdSeconds), r.MmapSpeedupVsGob,
+				r.JoinAoSScanMicros, r.JoinColsScanMicros, r.DotAoSScanMicros, r.DotFlatScanMicros)
+		}
+		fmt.Println()
+		emit("restart", rows)
 	}
 
 	if *exp == "k-sensitivity" {

@@ -1,0 +1,201 @@
+// Command geomigrate converts FootprintDB snapshot files between the
+// legacy gob format and the current columnar format (internal/colstore),
+// and diagnoses existing files.
+//
+// Convert mode reads a snapshot of either format and rewrites it in the
+// requested one (atomically, next to the destination):
+//
+//	geomigrate convert -in partA.db -out partA.col            # → columnar
+//	geomigrate convert -in partA.col -out partA.db -to gob    # → legacy gob
+//
+// Verify mode opens a file the way geoserve would — sniffing the
+// format, checking every section CRC on columnar files — and, for
+// columnar files, additionally loads it through BOTH the mmap and the
+// read path and cross-checks that the two produce identical databases:
+//
+//	geomigrate verify -in partA.col
+//
+// Info mode prints what the file is without fully validating payloads:
+//
+//	geomigrate info -in partA.col
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"geofootprint/internal/colstore"
+	"geofootprint/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("geomigrate: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "convert":
+		convert(os.Args[2:])
+	case "verify":
+		verify(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: geomigrate convert|verify|info [flags]")
+	os.Exit(2)
+}
+
+func convert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "source snapshot (gob or columnar; required)")
+	out := fs.String("out", "", "destination path (required)")
+	to := fs.String("to", "columnar", "target format: columnar|gob")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	db, err := store.Load(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *to {
+	case "columnar":
+		err = db.Save(*out)
+	case "gob":
+		err = db.SaveGob(*out)
+	default:
+		log.Fatalf("unknown target format %q (want columnar or gob)", *to)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%s): %d users, %d regions", *out, *to, db.Len(), db.NumRegions())
+}
+
+func verify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	in := fs.String("in", "", "snapshot to verify (required)")
+	fs.Parse(args)
+	if *in == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	// The auto path is what geoserve runs: magic sniff, full CRC
+	// verification on columnar files, gob decode otherwise.
+	db, err := store.Load(*in)
+	if err != nil {
+		if errors.Is(err, store.ErrCorruptSnapshot) {
+			log.Fatalf("CORRUPT: %v", err)
+		}
+		log.Fatal(err)
+	}
+	if !db.ColumnarBacked() {
+		log.Printf("OK (gob): %d users, %d regions", db.Len(), db.NumRegions())
+		return
+	}
+	// Columnar: cross-check the two load paths against each other. Any
+	// divergence means a bug in exactly one of them, which is the
+	// failure this subcommand exists to catch before geoserve does.
+	viaMmap, err := store.LoadColumnar(*in, colstore.ModeMmap)
+	if err != nil {
+		log.Fatalf("mmap load: %v", err)
+	}
+	viaRead, err := store.LoadColumnar(*in, colstore.ModeRead)
+	if err != nil {
+		log.Fatalf("read load: %v", err)
+	}
+	if err := diffDBs(viaMmap, viaRead); err != nil {
+		log.Fatalf("mmap and read paths disagree: %v", err)
+	}
+	log.Printf("OK (columnar): %d users, %d regions, sketches=%v; mmap and read paths agree",
+		db.Len(), db.NumRegions(), db.SketchesEnabled())
+}
+
+// diffDBs compares every persisted field of two databases bit by bit.
+func diffDBs(a, b *store.FootprintDB) error {
+	if a.Name != b.Name {
+		return fmt.Errorf("name %q vs %q", a.Name, b.Name)
+	}
+	if a.Len() != b.Len() {
+		return fmt.Errorf("%d vs %d users", a.Len(), b.Len())
+	}
+	for u := range a.IDs {
+		if a.IDs[u] != b.IDs[u] {
+			return fmt.Errorf("user %d: ID %d vs %d", u, a.IDs[u], b.IDs[u])
+		}
+		if a.Norms[u] != b.Norms[u] {
+			return fmt.Errorf("user %d: norm mismatch", u)
+		}
+		if a.MBRs[u] != b.MBRs[u] {
+			return fmt.Errorf("user %d: MBR mismatch", u)
+		}
+		fa, fb := a.Footprints[u], b.Footprints[u]
+		if len(fa) != len(fb) {
+			return fmt.Errorf("user %d: %d vs %d regions", u, len(fa), len(fb))
+		}
+		for r := range fa {
+			if fa[r] != fb[r] {
+				return fmt.Errorf("user %d region %d mismatch", u, r)
+			}
+		}
+	}
+	if a.SketchParams != b.SketchParams {
+		return fmt.Errorf("sketch params mismatch")
+	}
+	if len(a.Sketches) != len(b.Sketches) {
+		return fmt.Errorf("%d vs %d sketches", len(a.Sketches), len(b.Sketches))
+	}
+	for u := range a.Sketches {
+		sa, sb := &a.Sketches[u], &b.Sketches[u]
+		if len(sa.Cells) != len(sb.Cells) {
+			return fmt.Errorf("user %d: sketch size mismatch", u)
+		}
+		for i := range sa.Cells {
+			if sa.Cells[i] != sb.Cells[i] || sa.Mass[i] != sb.Mass[i] || sa.Root[i] != sb.Root[i] {
+				return fmt.Errorf("user %d: sketch cell %d mismatch", u, i)
+			}
+		}
+	}
+	return nil
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "snapshot to describe (required)")
+	fs.Parse(args)
+	if *in == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	st, err := os.Stat(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := colstore.Open(*in, colstore.ModeRead)
+	switch {
+	case err == nil:
+		fmt.Printf("%s: columnar v%d, %d bytes\n", *in, colstore.Version, st.Size())
+		fmt.Printf("  users=%d regions=%d sketches=%v", snap.NumUsers(), snap.NumRegions(), snap.HasSketches())
+		if snap.HasSketches() {
+			fmt.Printf(" (g=%d, %d cells)", snap.SketchG, len(snap.Cells))
+		}
+		fmt.Println()
+		if snap.Meta != nil {
+			fmt.Printf("  meta section: %d bytes (ingest checkpoint state)\n", len(snap.Meta))
+		}
+	case errors.Is(err, colstore.ErrNotColumnar):
+		fmt.Printf("%s: legacy gob, %d bytes (convert with `geomigrate convert`)\n", *in, st.Size())
+	default:
+		log.Fatal(err)
+	}
+}

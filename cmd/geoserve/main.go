@@ -32,6 +32,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"log"
 	"os"
@@ -64,6 +65,7 @@ func main() {
 
 	cacheSize := flag.Int("cache-size", 0, "epoch-keyed result cache capacity in entries (0: cache disabled)")
 	statsEvery := flag.Duration("stats-interval", 0, "log epoch/cache serving stats at this period (0: only on shutdown)")
+	allowCorrupt := flag.Bool("allow-corrupt-snapshot", false, "serve despite a corrupt snapshot file: static mode refuses, streaming mode rebuilds from the WAL alone; /healthz reports degraded")
 	maxInflight := flag.Int("max-inflight-queries", 0, "cap on concurrent top-k queries; excess get 429 (0: unlimited)")
 	queryTimeout := flag.Duration("query-timeout", 0, "default per-request query deadline when the client sends no ?timeout_ms= (0: none)")
 	maxQueryTimeout := flag.Duration("max-query-timeout", server.DefaultMaxTimeout, "hard cap on any query deadline, including client-requested ones")
@@ -91,9 +93,16 @@ func main() {
 		db   *store.FootprintDB
 		pipe *ingest.Pipeline
 	)
+	var snapErr error
 	if *dbPath != "" {
 		var err error
 		if db, err = store.Load(*dbPath); err != nil {
+			if errors.Is(err, store.ErrCorruptSnapshot) {
+				// A static corpus has no WAL to rebuild from, so
+				// -allow-corrupt-snapshot cannot help here; name the
+				// remedy instead of dying with a generic load error.
+				log.Fatalf("%v\nthe database file is damaged; rebuild it with geobuild or restore from a backup (geomigrate verify diagnoses the file)", err)
+			}
 			log.Fatal(err)
 		}
 	}
@@ -108,20 +117,28 @@ func main() {
 			log.Fatal(err)
 		}
 		cfg := ingest.Config{
-			WALPath:       *walPath,
-			SnapshotPath:  *snapPath,
-			Extract:       extract.Config{Epsilon: *eps, Tau: *tau},
-			SessionGap:    *gap,
-			Sync:          policy,
-			SyncInterval:  *syncEvery,
-			SnapshotEvery: *snapEvery,
+			WALPath:              *walPath,
+			SnapshotPath:         *snapPath,
+			Extract:              extract.Config{Epsilon: *eps, Tau: *tau},
+			SessionGap:           *gap,
+			Sync:                 policy,
+			SyncInterval:         *syncEvery,
+			SnapshotEvery:        *snapEvery,
+			AllowCorruptSnapshot: *allowCorrupt,
 		}
 		rec, err := ingest.Recover(cfg)
 		if err != nil {
+			if errors.Is(err, store.ErrCorruptSnapshot) {
+				log.Fatalf("%v\nthe snapshot file is damaged; restore it from a backup, or pass -allow-corrupt-snapshot to rebuild from the WAL alone (records checkpointed before the damage are lost)", err)
+			}
 			log.Fatal(err)
 		}
 		if rec.Damaged {
 			log.Printf("WAL tail was torn or corrupt; recovered the intact prefix (%d records)", rec.Replayed)
+		}
+		if rec.SnapshotErr != nil {
+			snapErr = rec.SnapshotErr
+			log.Printf("snapshot corrupt, serving WAL-only state (-allow-corrupt-snapshot): %v", snapErr)
 		}
 		log.Printf("recovered %d users from snapshot + %d WAL records", rec.DB.Len(), rec.Replayed)
 		db = rec.DB
@@ -131,6 +148,9 @@ func main() {
 		}
 	} else {
 		srv = server.NewWithOptions(db, srvOpts)
+	}
+	if snapErr != nil {
+		srv.SetSnapshotError(snapErr)
 	}
 	log.Printf("loaded %d users (%d regions) in %.2fs; listening on %s",
 		db.Len(), db.NumRegions(), time.Since(start).Seconds(), *addr)

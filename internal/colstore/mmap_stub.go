@@ -1,0 +1,19 @@
+//go:build !unix
+
+package colstore
+
+import "errors"
+
+// mmapSupported is false on platforms without a usable mmap; OpenFS
+// serves every snapshot through the io.ReadFull path there.
+const mmapSupported = false
+
+type mapping struct {
+	data []byte
+}
+
+func newMapping(fd uintptr, size int) (*mapping, error) {
+	return nil, errors.New("colstore: mmap not supported on this platform")
+}
+
+func (m *mapping) close() error { return nil }

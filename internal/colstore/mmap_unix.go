@@ -1,0 +1,51 @@
+//go:build unix
+
+package colstore
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy path; on unix it is real mmap.
+const mmapSupported = true
+
+// mapping owns one live MAP_PRIVATE mapping of a snapshot file. The
+// mapping is PROT_READ|PROT_WRITE so that an owner's in-place writes
+// (a builder zeroing a tombstoned norm) hit private copy-on-write
+// pages instead of faulting — the file is never written through it.
+type mapping struct {
+	data []byte
+}
+
+// newMapping maps size bytes of fd. A finalizer unmaps dropped
+// mappings so loops that load many snapshots (the restart benchmark,
+// geomigrate verify) do not leak address space; Snapshot.Close unmaps
+// eagerly and disarms it.
+func newMapping(fd uintptr, size int) (*mapping, error) {
+	if size == 0 {
+		// mmap of zero bytes is an error; a zero-byte file cannot be a
+		// valid snapshot anyway, so hand parse an empty image to fail
+		// with its usual diagnostics.
+		return &mapping{}, nil
+	}
+	data, err := syscall.Mmap(int(fd), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, err
+	}
+	m := &mapping{data: data}
+	runtime.SetFinalizer(m, func(m *mapping) { _ = m.close() })
+	return m, nil
+}
+
+// close unmaps; idempotent.
+func (m *mapping) close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	runtime.SetFinalizer(m, nil)
+	return syscall.Munmap(data)
+}

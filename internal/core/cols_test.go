@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// colsOf flattens footprints into the CSR columnar layout, the same
+// transposition the store performs when saving a snapshot.
+func colsOf(fps []Footprint) (RegionCols, []int) {
+	var c RegionCols
+	starts := make([]int, 0, len(fps)+1)
+	starts = append(starts, 0)
+	for _, f := range fps {
+		for _, r := range f {
+			c.MinX = append(c.MinX, r.Rect.MinX)
+			c.MinY = append(c.MinY, r.Rect.MinY)
+			c.MaxX = append(c.MaxX, r.Rect.MaxX)
+			c.MaxY = append(c.MaxY, r.Rect.MaxY)
+			c.W = append(c.W, r.Weight)
+		}
+		starts = append(starts, len(c.MinX))
+	}
+	return c, starts
+}
+
+// TestSimilarityJoinColsMatchesJoin: the columnar kernel must be
+// bit-for-bit identical to SimilarityJoin on the same data — same
+// merge order, same multiply/accumulate sequence — across random
+// footprints including empty and zero-norm cases.
+func TestSimilarityJoinColsMatchesJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	fps := make([]Footprint, 64)
+	for i := range fps {
+		fps[i] = randomSortedFootprint(rng, rng.Intn(30))
+	}
+	fps = append(fps, Footprint{}) // empty stored footprint
+	cols, starts := colsOf(fps)
+
+	queries := make([]Footprint, 12)
+	for i := range queries {
+		queries[i] = randomSortedFootprint(rng, 1+rng.Intn(25))
+	}
+	queries = append(queries, Footprint{}) // zero-norm query
+
+	for qi, q := range queries {
+		ns := Norm(q)
+		for u := range fps {
+			nr := Norm(fps[u])
+			want := SimilarityJoin(fps[u], q, nr, ns)
+			got := SimilarityJoinCols(&cols, starts[u], starts[u+1], q, nr, ns)
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("query %d user %d: cols %v != join %v", qi, u, got, want)
+			}
+		}
+	}
+}
+
+// TestSimilarityJoinColsAllocationFree pins the columnar kernel at
+// zero allocations alongside the SimilarityJoin guard: the subslice
+// headers it builds stay on the stack.
+func TestSimilarityJoinColsAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	fps := []Footprint{randomSortedFootprint(rng, 24)}
+	cols, starts := colsOf(fps)
+	q := randomSortedFootprint(rng, 18)
+	nr, ns := Norm(fps[0]), Norm(q)
+	var sink float64
+	avg := testing.AllocsPerRun(200, func() {
+		sink += SimilarityJoinCols(&cols, starts[0], starts[1], q, nr, ns)
+	})
+	if avg != 0 {
+		t.Fatalf("SimilarityJoinCols allocates %v times per run, want 0", avg)
+	}
+	_ = sink
+}

@@ -168,7 +168,7 @@ func (e *QueryEngine) TopKBatch(queries []core.Footprint, k int) [][]search.Resu
 // offerUser refines one candidate with Algorithm 4 and offers the
 // score — exactly what the serial user-centric and linear paths do.
 func (e *QueryEngine) offerUser(col *topk.Collector, u int, q core.Footprint, qnorm float64) {
-	sim := core.SimilarityJoin(e.db.Footprints[u], q, e.db.Norms[u], qnorm)
+	sim := e.db.UserSimilarity(u, q, qnorm)
 	if sim > 0 {
 		col.Offer(e.db.IDs[u], sim)
 	}

@@ -100,7 +100,7 @@ func (e *QueryEngine) refineBoundedCtx(ctx context.Context, col *topk.Collector,
 		if col.Len() == k && c.Bound < col.Threshold() {
 			return
 		}
-		sim := core.SimilarityJoin(e.db.Footprints[c.User], q, e.db.Norms[c.User], qnorm)
+		sim := e.db.UserSimilarity(c.User, q, qnorm)
 		if sim > 0 {
 			col.Offer(e.db.IDs[c.User], sim)
 		}

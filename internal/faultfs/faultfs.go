@@ -29,6 +29,15 @@ type File interface {
 	Name() string
 }
 
+// Fder is the optional File extension exposing a real OS descriptor.
+// *os.File satisfies it; fault-injecting wrappers deliberately do not,
+// so descriptor-based fast paths (the colstore mmap load) fall back to
+// plain reads under a fault schedule — which keeps every injected
+// fault on a code path that actually observes it.
+type Fder interface {
+	Fd() uintptr
+}
+
 // FS is the filesystem surface the durability paths need: open for
 // append/scan (the WAL), temp-file + rename (atomic snapshot writes),
 // and the directory handle whose Sync makes a rename durable.

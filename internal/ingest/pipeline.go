@@ -49,6 +49,12 @@ type Config struct {
 	// faultfs.Fault here to exercise ENOSPC, EIO, short writes and
 	// torn renames deterministically.
 	FS faultfs.FS
+	// AllowCorruptSnapshot lets Recover tolerate a snapshot that fails
+	// its integrity checks (store.ErrCorruptSnapshot): instead of
+	// refusing to start, recovery rebuilds from the WAL alone and
+	// reports the error in RecoverResult.SnapshotErr. Data checkpointed
+	// before the corruption is lost; off by default so damage is loud.
+	AllowCorruptSnapshot bool
 }
 
 // DefaultExtract is the paper's extraction configuration.

@@ -2,24 +2,32 @@ package ingest
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
-	"io"
 	"os"
 
+	"geofootprint/internal/colstore"
 	"geofootprint/internal/faultfs"
 	"geofootprint/internal/store"
 	"geofootprint/internal/wal"
 )
 
-// Snapshot file format: a gob stream holding the checkpoint metadata
-// (applied sequence number + open sessions) followed by the database
-// wire form. It is written through store.WriteFileAtomic, so the file
-// at SnapshotPath is always a complete snapshot or absent — never
-// torn. Single-file atomicity is what keeps the snapshot and its
-// sequence number in lockstep: a database newer than its Seq would
-// make recovery double-apply WAL records, a database older would drop
-// acknowledged writes.
+// Snapshot file format: a columnar snapshot (internal/colstore) whose
+// CRC-guarded meta section holds the gob-encoded checkpoint metadata
+// (applied sequence number + open sessions). It is written through
+// store.WriteColumnarFS, so the file at SnapshotPath is always a
+// complete snapshot or absent — never torn. Single-file atomicity is
+// what keeps the snapshot and its sequence number in lockstep: a
+// database newer than its Seq would make recovery double-apply WAL
+// records, a database older would drop acknowledged writes.
+//
+// Checkpoints from the previous release — a gob stream of the metadata
+// followed by the database wire form — are still read transparently
+// (the format is sniffed from the file magic); the next checkpoint
+// rewrites the file columnar, so a deployment migrates on its first
+// snapshot interval with no operator action.
 
 type snapMeta struct {
 	Seq      uint64
@@ -27,17 +35,46 @@ type snapMeta struct {
 }
 
 func writeSnapshotFile(fsys faultfs.FS, path string, state State, db *store.FootprintDB) error {
-	return store.WriteFileAtomicFS(fsys, path, func(w io.Writer) error {
-		if err := gob.NewEncoder(w).Encode(snapMeta{Seq: state.Seq, Sessions: state.Sessions}); err != nil {
-			return fmt.Errorf("ingest: encoding snapshot meta: %w", err)
-		}
-		return db.EncodeTo(w)
-	})
+	var meta bytes.Buffer
+	if err := gob.NewEncoder(&meta).Encode(snapMeta{Seq: state.Seq, Sessions: state.Sessions}); err != nil {
+		return fmt.Errorf("ingest: encoding snapshot meta: %w", err)
+	}
+	return store.WriteColumnarFS(fsys, path, db.Columnar(meta.Bytes()))
 }
 
-// readSnapshotFile loads a snapshot; a missing file yields a fresh
-// empty database and zero state.
+// readSnapshotFile loads a snapshot of either format; a missing file
+// yields a fresh empty database and zero state. Corrupt files of
+// either format report store.ErrCorruptSnapshot so the caller can
+// distinguish damaged durable state from a first boot.
 func readSnapshotFile(fsys faultfs.FS, path, name string) (*store.FootprintDB, State, error) {
+	snap, err := colstore.OpenFS(fsys, path, colstore.ModeAuto)
+	switch {
+	case err == nil:
+		db, cerr := store.FromColumnar(snap)
+		if cerr != nil {
+			return nil, State{}, cerr
+		}
+		var meta snapMeta
+		if snap.Meta != nil {
+			if err := gob.NewDecoder(bytes.NewReader(snap.Meta)).Decode(&meta); err != nil {
+				return nil, State{}, fmt.Errorf("%w: %s: decoding snapshot meta: %w",
+					store.ErrCorruptSnapshot, path, err)
+			}
+		}
+		return db, State{Seq: meta.Seq, Sessions: meta.Sessions}, nil
+	case errors.Is(err, colstore.ErrNotColumnar):
+		return readGobSnapshotFile(fsys, path, name)
+	case errors.Is(err, colstore.ErrCorrupt) || errors.Is(err, colstore.ErrVersion):
+		return nil, State{}, fmt.Errorf("%w: %s: %w", store.ErrCorruptSnapshot, path, err)
+	case os.IsNotExist(err):
+		return &store.FootprintDB{Name: name}, State{}, nil
+	default:
+		return nil, State{}, err
+	}
+}
+
+// readGobSnapshotFile reads the previous release's checkpoint format.
+func readGobSnapshotFile(fsys faultfs.FS, path, name string) (*store.FootprintDB, State, error) {
 	f, err := fsys.Open(path)
 	if os.IsNotExist(err) {
 		return &store.FootprintDB{Name: name}, State{}, nil
@@ -50,11 +87,12 @@ func readSnapshotFile(fsys faultfs.FS, path, name string) (*store.FootprintDB, S
 	r := bufio.NewReader(f)
 	var meta snapMeta
 	if err := gob.NewDecoder(r).Decode(&meta); err != nil {
-		return nil, State{}, fmt.Errorf("ingest: decoding snapshot meta %s: %w", path, err)
+		return nil, State{}, fmt.Errorf("%w: %s: decoding snapshot meta: %w",
+			store.ErrCorruptSnapshot, path, err)
 	}
 	db, err := store.DecodeFrom(r, path)
 	if err != nil {
-		return nil, State{}, err
+		return nil, State{}, fmt.Errorf("%w: %s: %w", store.ErrCorruptSnapshot, path, err)
 	}
 	return db, State{Seq: meta.Seq, Sessions: meta.Sessions}, nil
 }
@@ -71,6 +109,13 @@ type RecoverResult struct {
 	// Damaged reports that the WAL had a torn or corrupt tail, which
 	// replay stopped at (and the next wal.Open will truncate).
 	Damaged bool
+	// SnapshotErr is the store.ErrCorruptSnapshot recovery tolerated
+	// under Config.AllowCorruptSnapshot: the snapshot was damaged, the
+	// database was rebuilt from the WAL alone (data the WAL no longer
+	// holds — checkpointed before the corruption — is lost), and the
+	// serving layer should report degraded until a fresh checkpoint
+	// replaces the file. Nil on a clean recovery.
+	SnapshotErr error
 }
 
 // Recover rebuilds the ingestion state after a restart: load the
@@ -88,8 +133,16 @@ func Recover(cfg Config) (*RecoverResult, error) {
 		return nil, err
 	}
 	db, state, err := readSnapshotFile(cfg.FS, cfg.SnapshotPath, cfg.Name)
+	var snapErr error
 	if err != nil {
-		return nil, err
+		if !cfg.AllowCorruptSnapshot || !errors.Is(err, store.ErrCorruptSnapshot) {
+			return nil, err
+		}
+		// Operator opted in: serve what the WAL can reconstruct. The
+		// corrupt file is left in place for forensics; the next
+		// checkpoint atomically replaces it.
+		snapErr = err
+		db, state = &store.FootprintDB{Name: cfg.Name}, State{}
 	}
 	sess, err := newSessionizer(cfg.Extract, cfg.SessionGap)
 	if err != nil {
@@ -99,7 +152,7 @@ func Recover(cfg Config) (*RecoverResult, error) {
 		return nil, err
 	}
 	sink := &DBSink{DB: db, Weighting: cfg.Weighting}
-	res := &RecoverResult{DB: db}
+	res := &RecoverResult{DB: db, SnapshotErr: snapErr}
 	_, damaged, err := wal.ReplayFS(cfg.FS, cfg.WALPath, func(rec wal.Record) error {
 		if rec.LSN <= state.Seq {
 			res.Skipped++

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"geofootprint/internal/lint/analysis"
+)
+
+// ColWrite guards the columnar snapshot writer seam, the same way
+// atomicwrite guards the rename dance one level below it. The columnar
+// format's integrity contract — every section CRC-consistent, the file
+// either complete under its final name or absent — holds only when the
+// encode happens inside store.WriteColumnarFS, which runs it through
+// WriteFileAtomicFS (temp file, fsync, rename, directory fsync). A
+// colstore.Snapshot.EncodeTo call anywhere else on a persistence path
+// (package path segment store, wal or ingest) is a snapshot that can
+// land torn under its final name, so this analyzer flags it unless the
+// enclosing function is the WriteColumnar helper family itself.
+//
+// Package colstore is not a persistence package (it encodes to an
+// abstract io.Writer and never touches file names), so its own tests
+// and the encoder implementation are naturally out of scope.
+var ColWrite = &analysis.Analyzer{
+	Name: "colwrite",
+	Doc: "flag colstore.Snapshot.EncodeTo on persistence paths outside the " +
+		"WriteColumnar/WriteColumnarFS writer seam",
+	Run: runColWrite,
+}
+
+// colHelperName prefixes the functions allowed to encode a columnar
+// snapshot on a persistence path: WriteColumnar and its
+// explicit-filesystem form WriteColumnarFS.
+const colHelperName = "WriteColumnar"
+
+func runColWrite(pass *analysis.Pass) error {
+	if !persistencePkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, colHelperName) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isSnapshotEncodeTo(pass.TypesInfo, call) {
+					pass.Reportf(call.Pos(),
+						"colstore Snapshot.EncodeTo outside %s on a persistence path; columnar snapshots must go through the atomic writer seam",
+						colHelperName)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isSnapshotEncodeTo reports whether the call is the EncodeTo method of
+// colstore.Snapshot (directly or through a pointer receiver).
+func isSnapshotEncodeTo(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "EncodeTo" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOrPointee(sig.Recv().Type())
+	return named != nil && named.Obj().Name() == "Snapshot" &&
+		named.Obj().Pkg() != nil && pathHasSegment(named.Obj().Pkg().Path(), "colstore")
+}

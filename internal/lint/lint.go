@@ -19,6 +19,9 @@
 //   - epochmut        — PR 6's MVCC contract: databases reached
 //     through an Epoch or EpochBuilder's DB() are read lock-free and
 //     must not be mutated outside internal/store's builder seam.
+//   - colwrite        — PR 7's columnar-snapshot contract: a
+//     colstore.Snapshot encode on a persistence path must go through
+//     the WriteColumnar atomic writer seam, never a raw writer.
 //
 // Suppression: a diagnostic is suppressed by a comment
 // `//lint:ignore <analyzer> <reason>` on the offending line or the
@@ -45,6 +48,7 @@ import (
 var Analyzers = []*analysis.Analyzer{
 	FloatRange,
 	AtomicWrite,
+	ColWrite,
 	HotAlloc,
 	SortedFootprint,
 	ErrDiscard,

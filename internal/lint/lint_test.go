@@ -20,6 +20,13 @@ func TestAtomicWrite(t *testing.T) {
 		"./internal/lint/testdata/src/atomicwrite/ingest")
 }
 
+func TestColWrite(t *testing.T) {
+	analysistest.Run(t, lint.ColWrite,
+		"./internal/lint/testdata/src/colwrite/store",
+		"./internal/lint/testdata/src/colwrite/ingest",
+		"./internal/lint/testdata/src/colwrite/other")
+}
+
 func TestHotAlloc(t *testing.T) {
 	analysistest.Run(t, lint.HotAlloc,
 		"./internal/lint/testdata/src/hotalloc/a")

@@ -1,0 +1,15 @@
+// Package ingest is the colwrite fixture for the checkpoint writer's
+// package: the ingest path segment is part of the durability layer, so
+// a raw snapshot encode is flagged there exactly as in store.
+package ingest
+
+import (
+	"io"
+
+	"geofootprint/internal/colstore"
+)
+
+// Checkpoint bypasses the writer seam.
+func Checkpoint(w io.Writer, snap *colstore.Snapshot) error {
+	return snap.EncodeTo(w) // want `colstore Snapshot.EncodeTo outside WriteColumnar`
+}

@@ -1,0 +1,17 @@
+// Package other is the colwrite negative fixture: not a persistence
+// package (no store/wal/ingest path segment), so encoding a snapshot
+// to an arbitrary writer — a network response, a test buffer — is out
+// of the analyzer's scope.
+package other
+
+import (
+	"io"
+
+	"geofootprint/internal/colstore"
+)
+
+// Stream serialises a snapshot for transport; fine outside the
+// durability layer.
+func Stream(w io.Writer, snap *colstore.Snapshot) error {
+	return snap.EncodeTo(w)
+}

@@ -44,13 +44,13 @@ func (s *LinearScan) TopKCtx(ctx context.Context, q core.Footprint, k int) ([]Re
 		return nil, nil
 	}
 	col := topk.New(k)
-	for i, f := range s.db.Footprints {
+	for i := range s.db.Footprints {
 		if i&(cancelStride-1) == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		if sim := core.SimilarityJoin(f, q, s.db.Norms[i], qnorm); sim > 0 {
+		if sim := s.db.UserSimilarity(i, q, qnorm); sim > 0 {
 			col.Offer(s.db.IDs[i], sim)
 		}
 	}
@@ -88,7 +88,7 @@ func (ix *RoIIndex) TopKIterativeCtx(ctx context.Context, q core.Footprint, k in
 			visits++
 			if a := e.Rect.IntersectionArea(qr.Rect); a > 0 {
 				u, r := unpackPayload(e.Data)
-				simn[u] += a * ix.db.Footprints[u][r].Weight * qr.Weight
+				simn[u] += a * ix.db.RegionWeight(u, r) * qr.Weight
 			}
 			return true
 		})
@@ -229,7 +229,7 @@ func (ix *UserCentricIndex) TopKCtx(ctx context.Context, q core.Footprint, k int
 		}
 		visits++
 		u := int(e.Data)
-		sim := core.SimilarityJoin(ix.db.Footprints[u], q, ix.db.Norms[u], qnorm)
+		sim := ix.db.UserSimilarity(u, q, qnorm)
 		if sim > 0 {
 			col.Offer(ix.db.IDs[u], sim)
 		}
@@ -283,7 +283,7 @@ func (ix *UserCentricIndex) TopKPrunedCtx(ctx context.Context, q core.Footprint,
 				return true
 			}
 		}
-		sim := core.SimilarityJoin(ix.db.Footprints[u], q, ix.db.Norms[u], qnorm)
+		sim := ix.db.UserSimilarity(u, q, qnorm)
 		if sim > 0 {
 			col.Offer(ix.db.IDs[u], sim)
 		}
@@ -327,7 +327,7 @@ func (ix *UserCentricIndex) TopKSketchCtx(ctx context.Context, q core.Footprint,
 		if col.Len() == k && c.Bound < col.Threshold() {
 			break
 		}
-		sim := core.SimilarityJoin(db.Footprints[c.User], q, db.Norms[c.User], qnorm)
+		sim := db.UserSimilarity(c.User, q, qnorm)
 		if sim > 0 {
 			col.Offer(db.IDs[c.User], sim)
 		}

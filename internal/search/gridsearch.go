@@ -50,7 +50,7 @@ func (ix *GridIndex) TopK(q core.Footprint, k int) []Result {
 		ix.g.Search(qr.Rect, func(e grid.Entry) bool {
 			if a := e.Rect.IntersectionArea(qr.Rect); a > 0 {
 				u, r := unpackPayload(e.Data)
-				simn[u] += a * ix.db.Footprints[u][r].Weight * qr.Weight
+				simn[u] += a * ix.db.RegionWeight(u, r) * qr.Weight
 			}
 			return true
 		})

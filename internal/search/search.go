@@ -150,7 +150,7 @@ func (ix *RoIIndex) TopKBatch(q core.Footprint, k int) []Result {
 func (ix *RoIIndex) accumulate(simn map[int]float64, e *rtree.Entry, qr *core.Region) {
 	if a := e.Rect.IntersectionArea(qr.Rect); a > 0 {
 		u, r := unpackPayload(e.Data)
-		simn[u] += a * ix.db.Footprints[u][r].Weight * qr.Weight
+		simn[u] += a * ix.db.RegionWeight(u, r) * qr.Weight
 	}
 }
 

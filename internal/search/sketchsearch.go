@@ -71,7 +71,7 @@ func (ix *UserCentricIndex) TopKSketchStats(q core.Footprint, k int) ([]Result, 
 
 	scored := make([]SketchCandidate, 0, len(cands))
 	for _, u := range cands {
-		b := sketch.UpperBound(sketch.Dot(&db.Sketches[u], &qsk), db.Norms[u], qnorm)
+		b := sketch.UpperBound(db.UserSketchDot(u, &qsk), db.Norms[u], qnorm)
 		if b > 0 {
 			// A zero bound certifies zero similarity (the bound
 			// dominates it), and zero-similarity users are never
@@ -92,7 +92,7 @@ func (ix *UserCentricIndex) TopKSketchStats(q core.Footprint, k int) ([]Result, 
 			break
 		}
 		st.Refined++
-		sim := core.SimilarityJoin(db.Footprints[c.User], q, db.Norms[c.User], qnorm)
+		sim := db.UserSimilarity(c.User, q, qnorm)
 		if sim > 0 {
 			col.Offer(db.IDs[c.User], sim)
 		}
@@ -124,7 +124,7 @@ func (ix *UserCentricIndex) SketchCandidates(q core.Footprint, qsk *sketch.Sketc
 	cands := ix.Candidates(q.MBR(), nil)
 	scored := make([]SketchCandidate, 0, len(cands))
 	for _, u := range cands {
-		b := sketch.UpperBound(sketch.Dot(&db.Sketches[u], qsk), db.Norms[u], qnorm)
+		b := sketch.UpperBound(db.UserSketchDot(u, qsk), db.Norms[u], qnorm)
 		if b > 0 {
 			scored = append(scored, SketchCandidate{User: u, Bound: b})
 		}

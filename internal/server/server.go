@@ -71,7 +71,20 @@ type Server struct {
 	opts     Options
 	gate     chan struct{}
 	draining atomic.Bool
+
+	// snapErr records that startup recovery found the on-disk snapshot
+	// corrupt and the operator chose to serve anyway (geoserve
+	// -allow-corrupt-snapshot): the server runs on a rebuilt or empty
+	// database, /healthz reports degraded until a fresh checkpoint
+	// replaces the damaged file. Set once before serving starts.
+	snapErr error
 }
+
+// SetSnapshotError marks the server as running despite a corrupt
+// durable snapshot; /healthz reports status "degraded" with
+// snapshot_corrupt until the damaged file has been rewritten. Call
+// before the listener starts (the field is read without a lock).
+func (s *Server) SetSnapshotError(err error) { s.snapErr = err }
 
 // epochView is the aux value attached to every published epoch: the
 // prebuilt index/engine view plus the optional classifier. Immutable
@@ -263,6 +276,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			out["wal_error"] = werr.Error()
 		}
 	}
+	// A corrupt snapshot the operator chose to serve past is the same
+	// class of signal as a sealed WAL: the data plane answers, the
+	// durability story is damaged, and probes must see it.
+	if s.snapErr != nil {
+		out["status"] = "degraded"
+		out["snapshot_corrupt"] = true
+		out["snapshot_error"] = s.snapErr.Error()
+	}
 	if s.draining.Load() {
 		out["status"] = "draining"
 		out["draining"] = true
@@ -364,8 +385,7 @@ func (s *Server) handlePairwise(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown user")
 		return
 	}
-	sim := core.SimilarityJoin(db.Footprints[ia], db.Footprints[ib],
-		db.Norms[ia], db.Norms[ib])
+	sim := db.UserSimilarity(ia, db.Footprints[ib], db.Norms[ib])
 	writeJSON(w, http.StatusOK, map[string]float64{"similarity": sim})
 }
 

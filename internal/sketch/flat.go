@@ -1,0 +1,30 @@
+package sketch
+
+// DotFlat is Dot over raw cell/root columns instead of two Sketch
+// structs: the merge-join dot of one stored sketch, addressed as a
+// contiguous slice pair out of the database's flat columnar blocks
+// (colstore's cells/cellroot sections), against a query sketch's
+// slices. Same merge order, same accumulation sequence, so the result
+// is bit-for-bit identical to Dot on materialised sketches — the
+// filter layer's bounds (and therefore its refinement counts and
+// final rankings) do not change when the database is columnar-backed.
+//
+//geo:hotpath
+func DotFlat(aCells []int32, aRoot []float64, bCells []int32, bRoot []float64) float64 {
+	var dot float64
+	i, j := 0, 0
+	for i < len(aCells) && j < len(bCells) {
+		ca, cb := aCells[i], bCells[j]
+		switch {
+		case ca == cb:
+			dot += aRoot[i] * bRoot[j]
+			i++
+			j++
+		case ca < cb:
+			i++
+		default:
+			j++
+		}
+	}
+	return dot
+}

@@ -1,0 +1,50 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geofootprint/internal/geom"
+)
+
+// TestDotFlatMatchesDot: the flat-column kernel must agree bit-for-bit
+// with Dot on materialised sketches, including disjoint and empty
+// cell sets.
+func TestDotFlatMatchesDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	p := Params{G: 32, Domain: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}
+	sketches := make([]Sketch, 40)
+	for i := range sketches {
+		sketches[i] = Build(randomFootprint(rng, 1+rng.Intn(20), 1), p)
+	}
+	sketches = append(sketches, Sketch{}) // empty
+	for i := range sketches {
+		for j := range sketches {
+			a, b := &sketches[i], &sketches[j]
+			want := Dot(a, b)
+			got := DotFlat(a.Cells, a.Root, b.Cells, b.Root)
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("sketch pair (%d,%d): flat %v != dot %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestDotFlatAllocationFree pins the flat kernel at zero allocations,
+// matching the Dot guard: it runs once per candidate per query on the
+// columnar fast path.
+func TestDotFlatAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := Params{G: 64, Domain: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}
+	a := Build(randomFootprint(rng, 24, 1), p)
+	b := Build(randomFootprint(rng, 18, 1), p)
+	var sink float64
+	avg := testing.AllocsPerRun(200, func() {
+		sink += DotFlat(a.Cells, a.Root, b.Cells, b.Root)
+	})
+	if avg != 0 {
+		t.Fatalf("DotFlat allocates %v times per run, want 0", avg)
+	}
+	_ = sink
+}

@@ -25,6 +25,7 @@ import (
 // by Rect.MinX in place (the database invariant); pass a copy if the
 // caller retains it.
 func (db *FootprintDB) Upsert(id int, f core.Footprint) int {
+	db.detachCols()
 	if !core.IsSortedByMinX(f) {
 		core.SortByMinX(f)
 	}
@@ -51,6 +52,7 @@ func (db *FootprintDB) Upsert(id int, f core.Footprint) int {
 // the user if needed, and refreshes norm and MBR. It returns the
 // user's dense index.
 func (db *FootprintDB) AppendRoIs(id int, regions []core.Region) int {
+	db.detachCols()
 	i, ok := db.IndexOf(id)
 	if !ok {
 		return db.Upsert(id, append(core.Footprint(nil), regions...))
@@ -70,6 +72,7 @@ func (db *FootprintDB) AppendRoIs(id int, regions []core.Region) int {
 // invalidated and must be rebuilt; long-running services call this
 // during maintenance windows after many Removes.
 func (db *FootprintDB) Compact() int {
+	db.detachCols()
 	sketches := db.SketchesEnabled()
 	keep := 0
 	for i := range db.IDs {
@@ -120,6 +123,7 @@ func (db *FootprintDB) Merge(other *FootprintDB) error {
 			core.SortByMinX(f)
 		}
 	}
+	db.detachCols()
 	base := len(db.IDs)
 	db.IDs = append(db.IDs, other.IDs...)
 	db.Footprints = append(db.Footprints, other.Footprints...)
@@ -151,6 +155,7 @@ func (db *FootprintDB) Remove(id int) bool {
 	if !ok {
 		return false
 	}
+	db.detachCols()
 	db.Footprints[i] = nil
 	db.Norms[i] = 0
 	db.MBRs[i] = geom.EmptyRect()

@@ -360,6 +360,14 @@ func (b *EpochBuilder) Freeze() *FootprintDB {
 	if db.Sketches != nil {
 		snap.Sketches = append([]sketch.Sketch(nil), db.Sketches...)
 	}
+	// The columnar fast-path view travels with the snapshot: the
+	// builder's copy-on-write discipline means the frozen state is
+	// exactly the state the columns describe (the builder detaches its
+	// own view on the first mutation after load, so a stale view can
+	// never be frozen). colSrc rides along to keep the mmap pinned for
+	// the epoch's lifetime.
+	snap.cols = db.cols
+	snap.colSrc = db.colSrc
 	// Everything the snapshot references is now shared: bump the
 	// generation so the next mutation of any user re-owns its regions,
 	// and flag the map.

@@ -1,7 +1,9 @@
 // Package store provides FootprintDB, the materialised collection of
 // user geo-footprints with their precomputed norms — the preprocessing
 // output of Section 5.1 that similarity computation and search build
-// on. The database persists via gob.
+// on. The database persists in the columnar snapshot format of
+// internal/colstore (see columnar.go); the legacy gob format is still
+// read transparently and written via SaveGob, one release behind.
 package store
 
 import (
@@ -9,11 +11,11 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
 
+	"geofootprint/internal/colstore"
 	"geofootprint/internal/core"
 	"geofootprint/internal/extract"
 	"geofootprint/internal/faultfs"
@@ -50,6 +52,14 @@ type FootprintDB struct {
 	Sketches     []sketch.Sketch
 
 	byID map[int]int // lazily built ID → index
+
+	// Columnar fast-path state (set by FromColumnar, see columnar.go).
+	// cols is the dense column view the flattened kernels dispatch on;
+	// dropped by detachCols on any mutation. colSrc pins the decoded
+	// snapshot — and its mmap on the zero-copy path — for as long as
+	// Norms or the sketch slices may alias it; it is never cleared.
+	cols   *colView
+	colSrc *colstore.Snapshot
 }
 
 // Build extracts every user's footprint from the dataset with
@@ -254,11 +264,22 @@ func (db *FootprintDB) EncodeTo(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&wire)
 }
 
-// Save writes the database to path in gob format. The write is atomic:
-// it goes to a temporary file in the target's directory, is fsynced,
-// and is renamed over path only when complete — a crash or error at
-// any point leaves an existing database at path untouched.
+// Save writes the database to path in the columnar snapshot format —
+// the current on-disk format, loadable with zero-copy mmap. The write
+// is atomic: it goes to a temporary file in the target's directory, is
+// fsynced, and is renamed over path only when complete — a crash or
+// error at any point leaves an existing database at path untouched.
+// Use SaveGob for the legacy format (readable by the previous
+// release); Load reads both.
 func (db *FootprintDB) Save(path string) error {
+	return WriteColumnar(path, db.Columnar(nil))
+}
+
+// SaveGob writes the database to path in the legacy gob format, with
+// the same atomic-rename discipline as Save. It exists one release
+// behind the columnar format as a migration escape hatch (geomigrate
+// uses it to down-convert); new snapshots should use Save.
+func (db *FootprintDB) SaveGob(path string) error {
 	return WriteFileAtomic(path, func(w io.Writer) error {
 		if err := db.EncodeTo(w); err != nil {
 			return fmt.Errorf("store: encoding %s: %w", path, err)
@@ -369,13 +390,10 @@ func DecodeFrom(r io.Reader, name string) (*FootprintDB, error) {
 	return db, nil
 }
 
-// Load reads a database previously written by Save.
+// Load reads a database previously written by Save (columnar,
+// preferring zero-copy mmap) or by the legacy gob writer — the format
+// is sniffed from the file magic. Corrupt files of either format
+// report ErrCorruptSnapshot; a missing file stays os.IsNotExist.
 func Load(path string) (*FootprintDB, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	//lint:ignore errdiscard read-only load handle; decode errors are surfaced by DecodeFrom
-	defer f.Close()
-	return DecodeFrom(bufio.NewReader(f), path)
+	return LoadFS(faultfs.OS, path)
 }

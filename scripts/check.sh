@@ -49,7 +49,14 @@ go build -tags strictsort ./...
 echo "== chaos: fault-injection, crash-recovery & epoch-swap suite (-race) =="
 go test -race -run '(Fault|Chaos|Crash|Seal|Epoch)' \
 	./internal/faultfs/... ./internal/wal/... ./internal/ingest/... \
-	./internal/server/... ./internal/store/... ./internal/cache/...
+	./internal/server/... ./internal/store/... ./internal/cache/... \
+	./internal/colstore/...
+
+# Snapshot-format migration self-test: gob -> columnar -> gob must be
+# byte-identical, so operators can migrate snapshots in either
+# direction without a diffing step.
+echo "== columnar migration round-trip (gob -> columnar -> gob byte-identical) =="
+go test -count=1 -run 'TestGobColumnarGobRoundTrip' ./internal/store/
 
 echo "== go test -race ./... =="
 go test -race ./...
