@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check test lint race chaos bench-fig3a bench-sketch bench-ingest bench-qps bench-restart benchdiff clean
+.PHONY: check test lint race chaos cluster-test bench-fig3a bench-sketch bench-ingest bench-qps bench-restart bench-scatter benchdiff clean
 
 check:
 	./scripts/check.sh
@@ -37,6 +37,15 @@ chaos:
 		./internal/server/... ./internal/store/... ./internal/cache/... \
 		./internal/colstore/...
 
+# Cross-shard equivalence suite: N in-process geoserve shards plus the
+# router on loopback, proving scatter-gathered top-k bit-identical to
+# single-node LinearScan (all methods, k ∈ {1,5,50}), explicit partial
+# results under a degraded shard, and routed-ingest equivalence. Run
+# under -race because the fan-out legs, health probes and admission
+# gates are all concurrent.
+cluster-test:
+	$(GO) test -race -count=1 -run 'TestCluster|TestCoordinator' ./internal/router/ ./cmd/georouter/
+
 # Regenerate the committed BENCH_fig3a.json evidence (serial vs
 # parallel batched top-k at geobench scale 0.05).
 bench-fig3a:
@@ -64,6 +73,12 @@ bench-qps:
 # columnar read vs columnar mmap, plus flat-kernel scan throughput).
 bench-restart:
 	$(GO) run ./cmd/geobench -exp restart -scale 0.05 -json .
+
+# Regenerate the committed BENCH_scatter.json evidence (router top-k
+# throughput scaling over 1/2/4 ring-split shards, every answer
+# verified bit-identical to LinearScan on the union store).
+bench-scatter:
+	$(GO) run ./cmd/geobench -exp scatter -scale 0.05 -json .
 
 # Compare two BENCH_<exp>.json reports; fails on >15% wall-clock
 # regression of any method. Usage:

@@ -47,7 +47,7 @@ func main() {
 	log.SetPrefix("geobench: ")
 
 	exp := flag.String("exp", "all",
-		"experiment: table1, table2, table3, table4, fig3a, fig3b, sketch, ingest, qps, restart, mbr-sensitivity, tuning, weighted, grid, cluster-methods, scale-sweep, k-sensitivity or all")
+		"experiment: table1, table2, table3, table4, fig3a, fig3b, sketch, ingest, qps, restart, scatter, mbr-sensitivity, tuning, weighted, grid, cluster-methods, scale-sweep, k-sensitivity or all")
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's user counts (1.0 = full size)")
 	partsFlag := flag.String("parts", "A,B,C,D", "comma-separated parts to run")
 	queries := flag.Int("queries", 50, "query users for table3 (paper: 200)")
@@ -351,6 +351,32 @@ func main() {
 				bench.FormatSeconds(r.BatchSeconds), bench.FormatSeconds(r.UserCentricSeconds))
 		}
 		fmt.Println()
+	}
+
+	// The scatter benchmark ring-splits each part across in-process
+	// geoserve shards behind the georouter fan-out, over loopback
+	// HTTP; it spins servers and verifies every routed answer against
+	// LinearScan, so it only runs when requested explicitly.
+	if *exp == "scatter" {
+		fmt.Printf("== Scatter-gather: router top-%d over N ring-split shards (%d queries, loopback HTTP) ==\n",
+			*k, *fig3aQueries)
+		fmt.Printf("%-5s %7s %8s %8s %12s %12s %10s %9s\n",
+			"part", "shards", "users", "clients", "queries/s", "mean (µs)", "speedup", "verified")
+		var rows []bench.ScatterRow
+		for _, p := range parts {
+			rs, err := bench.ScatterBench(get(p), []int{1, 2, 4}, *fig3aQueries, *k, 0, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, r := range rs {
+				fmt.Printf("%-5s %7d %8d %8d %12.0f %12.1f %9.2fx %9v\n",
+					r.Part, r.Shards, r.Users, r.Clients, r.QueriesPerSec, r.MeanMicros,
+					r.SpeedupVs1, r.Verified)
+			}
+			rows = append(rows, rs...)
+		}
+		fmt.Println()
+		emit("scatter", rows)
 	}
 
 	if *exp == "cluster-methods" {

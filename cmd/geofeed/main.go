@@ -7,6 +7,17 @@
 //
 //	geofeed feed -url http://localhost:8080 -users 200 -rate 5000 -duration 30s
 //
+// Both the single-shard geoserve /v1/ingest and the georouter
+// coordinator speak the same NDJSON contract, so the same invocation
+// drives a whole cluster through the router.
+//
+// Query mode issues random weighted multi-region top-k queries against
+// /v1/topk — a shard's bare result list or the router's envelope — and
+// against a router reports how many answers were partial and which
+// shards were missing:
+//
+//	geofeed query -url http://localhost:9090 -queries 200 -k 10
+//
 // Inspect mode reads a write-ahead log offline and reports every
 // record (LSN, samples, bytes, CRC validity) plus whether the tail is
 // torn or corrupt — the first thing to look at after a crash:
@@ -25,6 +36,7 @@ import (
 	"time"
 
 	"geofootprint/internal/ingest"
+	"geofootprint/internal/retry"
 	"geofootprint/internal/wal"
 )
 
@@ -37,6 +49,8 @@ func main() {
 	switch os.Args[1] {
 	case "feed":
 		feed(os.Args[2:])
+	case "query":
+		query(os.Args[2:])
 	case "inspect":
 		inspect(os.Args[2:])
 	default:
@@ -45,7 +59,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: geofeed feed|inspect [flags]")
+	fmt.Fprintln(os.Stderr, "usage: geofeed feed|query|inspect [flags]")
 	os.Exit(2)
 }
 
@@ -88,9 +102,10 @@ func feed(args []string) {
 	}
 
 	client := &http.Client{Timeout: 10 * time.Second}
-	// Retry schedule for shed batches; seeded off the stream seed so a
-	// run is reproducible end to end.
-	bo := newBackoff(50*time.Millisecond, 2*time.Second, rand.New(rand.NewSource(*seed+1)))
+	// Retry schedule for shed batches (decorrelated jitter, shared
+	// with the router's fan-out retries); seeded off the stream seed
+	// so a run is reproducible end to end.
+	bo := retry.New(50*time.Millisecond, 2*time.Second, rand.New(rand.NewSource(*seed+1)))
 	const maxAttempts = 10
 	var (
 		sent, batches, retried429, retried503 int
@@ -114,6 +129,7 @@ func feed(args []string) {
 			case http.StatusAccepted:
 				sent += *batch
 				batches++
+				bo.Reset()
 			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 				// 429: backpressure; 503: draining or briefly
 				// unavailable. Both are retryable sheds — but a batch
@@ -127,7 +143,7 @@ func feed(args []string) {
 				} else {
 					retried503++
 				}
-				time.Sleep(bo.wait(attempt, resp.Header.Get("Retry-After")))
+				time.Sleep(bo.Next(resp.Header.Get("Retry-After")))
 				continue
 			default:
 				log.Fatalf("POST /v1/ingest: status %d", resp.StatusCode)
@@ -158,8 +174,8 @@ func inspect(args []string) {
 	}
 
 	var (
-		records, samples int
-		bytesTotal       int64
+		records, samples  int
+		bytesTotal        int64
 		firstLSN, lastLSN uint64
 	)
 	n, damaged, err := wal.Replay(*path, func(rec wal.Record) error {

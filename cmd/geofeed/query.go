@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"sort"
+	"time"
+
+	"geofootprint/internal/retry"
+)
+
+// query mode drives the /v1/topk endpoint of either a single geoserve
+// shard or a georouter coordinator with a stream of random weighted
+// multi-region queries. Both speak the same request format; the
+// responses differ — a shard answers a bare result list, the router an
+// envelope carrying the partial-result contract — so the driver
+// detects which it is talking to and, against a router, tallies how
+// often the cluster answered partial and which shards went missing.
+func query(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:9090", "geoserve or georouter base URL")
+	queries := fs.Int("queries", 100, "number of top-k queries to issue")
+	k := fs.Int("k", 10, "results per query")
+	method := fs.String("method", "", "search method to request (empty: server default)")
+	regions := fs.Int("regions", 3, "weighted regions per query footprint")
+	seed := fs.Int64("seed", 1, "query-stream seed")
+	fs.Parse(args)
+
+	rng := rand.New(rand.NewSource(*seed))
+	type regionJSON struct {
+		Rect   [4]float64 `json:"rect"`
+		Weight float64    `json:"weight"`
+	}
+	type queryJSON struct {
+		Regions []regionJSON `json:"regions"`
+		K       int          `json:"k"`
+		Method  string       `json:"method,omitempty"`
+	}
+	makeBody := func() []byte {
+		q := queryJSON{K: *k, Method: *method}
+		for i := 0; i < *regions; i++ {
+			x, y := rng.Float64()*0.9, rng.Float64()*0.9
+			w, h := 0.02+rng.Float64()*0.2, 0.02+rng.Float64()*0.2
+			q.Regions = append(q.Regions, regionJSON{
+				Rect:   [4]float64{x, y, x + w, y + h},
+				Weight: float64(1 + rng.Intn(3)),
+			})
+		}
+		b, err := json.Marshal(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return b
+	}
+
+	// envelope is the superset response shape; a shard's bare result
+	// list is decoded into Results token by token below.
+	type result struct {
+		ID         int     `json:"id"`
+		Similarity float64 `json:"similarity"`
+	}
+	type envelope struct {
+		Results []result `json:"results"`
+		Partial bool     `json:"partial"`
+		Missing []string `json:"missing"`
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	// The router serves top-k on /v1/topk, a shard on /v1/query (same
+	// request body). Start with the router path and fall back once.
+	path := "/v1/topk"
+	bo := retry.New(50*time.Millisecond, 2*time.Second, rand.New(rand.NewSource(*seed+1)))
+	const maxAttempts = 10
+	var (
+		answered, partials, results int
+		missing                     = map[string]int{}
+		totalLatency                time.Duration
+	)
+	start := time.Now()
+	for qn := 0; qn < *queries; qn++ {
+		body := makeBody()
+		for attempt := 0; ; attempt++ {
+			t0 := time.Now()
+			resp, err := client.Post(*url+path, "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Fatal(err)
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var env envelope
+				dec := json.NewDecoder(resp.Body)
+				// A shard answers a bare JSON array; the router an
+				// object. Peek at the first token to tell them apart.
+				if tok, err := dec.Token(); err != nil {
+					log.Fatalf("top-k: reading response: %v", err)
+				} else if delim, ok := tok.(json.Delim); ok && delim == '[' {
+					for dec.More() {
+						var r result
+						if err := dec.Decode(&r); err != nil {
+							log.Fatalf("top-k: decoding shard result: %v", err)
+						}
+						env.Results = append(env.Results, r)
+					}
+				} else {
+					// Re-fetch the object fields record by record: the
+					// opening '{' is consumed, so walk key/value pairs.
+					for dec.More() {
+						key, err := dec.Token()
+						if err != nil {
+							log.Fatalf("top-k: decoding envelope: %v", err)
+						}
+						switch key {
+						case "results":
+							if err := dec.Decode(&env.Results); err != nil {
+								log.Fatalf("top-k: decoding results: %v", err)
+							}
+						case "partial":
+							if err := dec.Decode(&env.Partial); err != nil {
+								log.Fatalf("top-k: decoding partial: %v", err)
+							}
+						case "missing":
+							if err := dec.Decode(&env.Missing); err != nil {
+								log.Fatalf("top-k: decoding missing: %v", err)
+							}
+						default:
+							var skip json.RawMessage
+							if err := dec.Decode(&skip); err != nil {
+								log.Fatalf("top-k: decoding envelope: %v", err)
+							}
+						}
+					}
+				}
+				_ = resp.Body.Close()
+				totalLatency += time.Since(t0)
+				answered++
+				results += len(env.Results)
+				if env.Partial {
+					partials++
+					for _, id := range env.Missing {
+						missing[id]++
+					}
+				}
+				bo.Reset()
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				ra := resp.Header.Get("Retry-After")
+				_ = resp.Body.Close()
+				if attempt+1 >= maxAttempts {
+					log.Fatalf("top-k: shed %d times in a row (last status %d); giving up", maxAttempts, resp.StatusCode)
+				}
+				time.Sleep(bo.Next(ra))
+				continue
+			case http.StatusNotFound:
+				_ = resp.Body.Close()
+				if answered == 0 && path == "/v1/topk" {
+					path = "/v1/query"
+					continue
+				}
+				log.Fatalf("POST %s: status 404", path)
+			default:
+				_ = resp.Body.Close()
+				log.Fatalf("POST %s: status %d", path, resp.StatusCode)
+			}
+			break
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if answered == 0 {
+		fmt.Println("answered 0 queries")
+		return
+	}
+	fmt.Printf("answered %d/%d queries in %.1fs (%.0f queries/s, mean %.1f ms, %d results)\n",
+		answered, *queries, elapsed, float64(answered)/elapsed,
+		totalLatency.Seconds()*1e3/float64(answered), results)
+	if partials > 0 {
+		ids := make([]string, 0, len(missing))
+		for id := range missing {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Printf("%d partial responses:\n", partials)
+		for _, id := range ids {
+			fmt.Printf("  %s missing from %d responses\n", id, missing[id])
+		}
+	} else {
+		fmt.Println("no partial responses: every answer covered the full cluster")
+	}
+}

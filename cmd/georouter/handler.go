@@ -1,0 +1,155 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	"time"
+
+	"geofootprint/internal/ingest"
+	"geofootprint/internal/router"
+)
+
+// maxIngestSamples mirrors the shard-side bound on one POST
+// /v1/ingest body — the coordinator enforces the same contract, so a
+// batch the router accepts is a batch every owning shard accepts.
+const maxIngestSamples = 10000
+
+// coordinator is the georouter HTTP layer over a router.Router.
+type coordinator struct {
+	r *router.Router
+	// queryTimeout bounds one whole /v1/topk fan-out (all legs,
+	// including retries). 0: no coordinator-imposed deadline.
+	queryTimeout time.Duration
+	logger       *log.Logger
+}
+
+func (c *coordinator) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", c.handleHealth)
+	mux.HandleFunc("POST /v1/topk", c.handleTopK)
+	mux.HandleFunc("POST /v1/ingest", c.handleIngest)
+	return mux
+}
+
+// handleHealth aggregates the cluster view: "ok" only when every
+// shard is serving, "degraded" otherwise — with the per-shard states
+// inline so an operator sees which shard and why in one curl.
+func (c *coordinator) handleHealth(w http.ResponseWriter, req *http.Request) {
+	shards := c.r.Shards()
+	status := "ok"
+	for _, h := range shards {
+		if h.State != router.StateOK && h.State != router.StateUnknown {
+			status = "degraded"
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": status,
+		"shards": shards,
+	})
+}
+
+// topkEnvelope is the coordinator's /v1/topk response. Unlike the
+// shard endpoint (a bare result list), the router's answer carries
+// the partial-result contract: partial:true plus the missing shard
+// IDs whenever any shard was skipped or failed.
+type topkEnvelope struct {
+	Results []resultJSON      `json:"results"`
+	Partial bool              `json:"partial"`
+	Missing []string          `json:"missing,omitempty"`
+	Queried int               `json:"queried"`
+	Epochs  map[string]uint64 `json:"epochs,omitempty"`
+}
+
+// resultJSON matches the shard's per-result wire form, so a client
+// can move between a single node and the cluster without re-parsing.
+type resultJSON struct {
+	ID         int     `json:"id"`
+	Similarity float64 `json:"similarity"`
+}
+
+func (c *coordinator) handleTopK(w http.ResponseWriter, req *http.Request) {
+	var q router.Query
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	if err := dec.Decode(&q); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx := req.Context()
+	if c.queryTimeout > 0 {
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, c.queryTimeout)
+		defer cancel()
+	}
+	res, err := c.r.TopK(ctx, q)
+	if err != nil {
+		switch {
+		case errors.Is(err, router.ErrBadQuery):
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		case errors.Is(err, router.ErrUnavailable):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	env := topkEnvelope{
+		Results: make([]resultJSON, len(res.Results)),
+		Partial: res.Partial,
+		Missing: res.Missing,
+		Queried: res.Queried,
+		Epochs:  res.Epochs,
+	}
+	for i, r := range res.Results {
+		env.Results[i] = resultJSON{ID: r.ID, Similarity: r.Score}
+	}
+	writeJSON(w, http.StatusOK, env)
+}
+
+// handleIngest accepts the same NDJSON batch format as a shard and
+// routes each sample to its owner. 202 keeps shard semantics: every
+// owning shard's WAL holds its slice of the batch. A failed leg is a
+// 503 naming both failed and acked shards — the client must not
+// blindly retry the whole batch (the acked slices are durable and
+// would double-ingest), and the Retry-After hint from the most loaded
+// owner is propagated.
+func (c *coordinator) handleIngest(w http.ResponseWriter, req *http.Request) {
+	samples, err := ingest.ParseNDJSON(req.Body, maxIngestSamples)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := c.r.RouteIngest(req.Context(), samples)
+	if err != nil {
+		var ierr *router.IngestError
+		if errors.As(err, &ierr) {
+			if ra := ierr.RetryAfter(); ra != "" {
+				w.Header().Set("Retry-After", ra)
+			}
+			writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+				"error": ierr.Error(),
+				"acked": ierr.Acked,
+			})
+			return
+		}
+		if errors.Is(err, router.ErrBadQuery) {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, res)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing to do but log.
+		log.Printf("georouter: encoding response: %v", err)
+	}
+}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"geofootprint/internal/hashring"
+	"geofootprint/internal/router"
+)
+
+// fakeCluster runs n fake shards and a coordinator over them; the
+// shards answer /v1/query with one result carrying their index and
+// /v1/ingest with a 202 ack (unless failing[i]).
+func fakeCluster(t *testing.T, n int, failing map[int]bool) (*coordinator, []*httptest.Server) {
+	t.Helper()
+	m := &hashring.Map{Version: hashring.MapVersion}
+	var srvs []*httptest.Server
+	for i := 0; i < n; i++ {
+		i := i
+		id := fmt.Sprintf("shard-%d", i)
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			json.NewEncoder(w).Encode(map[string]interface{}{
+				"status": "ok", "shard_id": id, "epoch_seq": 5, "users": 100,
+			})
+		})
+		mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, `[{"id":%d,"similarity":%g}]`, i, 1.0/float64(i+1))
+		})
+		mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+			if failing[i] {
+				w.Header().Set("Retry-After", "3")
+				http.Error(w, "sealed", http.StatusServiceUnavailable)
+				return
+			}
+			body, _ := io.ReadAll(r.Body)
+			nl := strings.Count(string(body), "\n")
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(map[string]interface{}{"lsn": 7, "samples": nl})
+		})
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		srvs = append(srvs, srv)
+		m.Shards = append(m.Shards, hashring.Shard{ID: id, Addr: srv.URL})
+	}
+	r, err := router.New(router.Config{
+		Map:            m,
+		HealthInterval: -1,
+		MaxAttempts:    1,
+		Logger:         log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	r.CheckHealth(t.Context())
+	return &coordinator{r: r, logger: log.New(io.Discard, "", 0)}, srvs
+}
+
+func doReq(t *testing.T, h http.Handler, method, path, body string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var obj map[string]interface{}
+	if rec.Body.Len() > 0 && strings.HasPrefix(strings.TrimSpace(rec.Body.String()), "{") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &obj); err != nil {
+			t.Fatalf("%s %s: bad JSON body %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec, obj
+}
+
+func TestCoordinatorHealthAggregates(t *testing.T) {
+	c, srvs := fakeCluster(t, 3, nil)
+	h := c.handler()
+	rec, obj := doReq(t, h, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK || obj["status"] != "ok" {
+		t.Fatalf("healthy cluster: %d %v", rec.Code, obj)
+	}
+	if len(obj["shards"].([]interface{})) != 3 {
+		t.Fatalf("want 3 shard entries: %v", obj["shards"])
+	}
+
+	srvs[2].Close()
+	c.r.CheckHealth(t.Context())
+	rec, obj = doReq(t, h, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK || obj["status"] != "degraded" {
+		t.Fatalf("cluster with a dead shard: %d %v", rec.Code, obj)
+	}
+}
+
+func TestCoordinatorTopKEnvelope(t *testing.T) {
+	c, srvs := fakeCluster(t, 3, nil)
+	h := c.handler()
+	q := `{"regions":[{"rect":[0.1,0.1,0.5,0.5],"weight":1}],"k":10}`
+
+	rec, obj := doReq(t, h, "POST", "/v1/topk", q)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if obj["partial"] != false || obj["queried"].(float64) != 3 {
+		t.Fatalf("full answer flagged partial: %v", obj)
+	}
+	results := obj["results"].([]interface{})
+	if len(results) != 3 {
+		t.Fatalf("want 3 merged results: %v", results)
+	}
+	// Merge order: score desc — shard-0 scored 1.0, then 0.5, 0.33…
+	if first := results[0].(map[string]interface{}); first["id"].(float64) != 0 || first["similarity"].(float64) != 1.0 {
+		t.Fatalf("merge order broken: %v", results)
+	}
+
+	// Validation errors are the client's fault, not the cluster's.
+	if rec, _ := doReq(t, h, "POST", "/v1/topk", `{"regions":[{"rect":[0,0,1,1],"weight":1}],"k":0}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("k=0: status %d, want 400", rec.Code)
+	}
+	if rec, _ := doReq(t, h, "POST", "/v1/topk", `not json`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage body: status %d, want 400", rec.Code)
+	}
+
+	// One dead shard: still 200, but the contract says so.
+	srvs[1].Close()
+	c.r.CheckHealth(t.Context())
+	rec, obj = doReq(t, h, "POST", "/v1/topk", q)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("partial answer status %d", rec.Code)
+	}
+	missing := obj["missing"].([]interface{})
+	if obj["partial"] != true || len(missing) != 1 || missing[0] != "shard-1" {
+		t.Fatalf("partial contract broken: %v", obj)
+	}
+
+	// Whole cluster dead: explicit unavailability, not an empty list.
+	srvs[0].Close()
+	srvs[2].Close()
+	c.r.CheckHealth(t.Context())
+	if rec, _ := doReq(t, h, "POST", "/v1/topk", q); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("dead cluster: status %d, want 503", rec.Code)
+	}
+}
+
+func TestCoordinatorIngestRoutes(t *testing.T) {
+	c, _ := fakeCluster(t, 2, nil)
+	h := c.handler()
+	var batch strings.Builder
+	for u := 1; u <= 20; u++ {
+		fmt.Fprintf(&batch, `{"user":%d,"x":0.5,"y":0.5,"t":%d}`+"\n", u, u)
+	}
+	rec, obj := doReq(t, h, "POST", "/v1/ingest", batch.String())
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if obj["samples"].(float64) != 20 {
+		t.Fatalf("routed count: %v", obj)
+	}
+	if len(obj["shards"].(map[string]interface{})) != 2 {
+		t.Fatalf("want LSNs from both owners: %v", obj["shards"])
+	}
+
+	if rec, _ := doReq(t, h, "POST", "/v1/ingest", "{bad"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage NDJSON: status %d, want 400", rec.Code)
+	}
+}
+
+func TestCoordinatorIngestFailedLeg(t *testing.T) {
+	c, _ := fakeCluster(t, 2, map[int]bool{1: true})
+	h := c.handler()
+	var batch strings.Builder
+	for u := 1; u <= 20; u++ {
+		fmt.Fprintf(&batch, `{"user":%d,"x":0.5,"y":0.5,"t":%d}`+"\n", u, u)
+	}
+	rec, obj := doReq(t, h, "POST", "/v1/ingest", batch.String())
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want the failed owner's hint", got)
+	}
+	if !strings.Contains(obj["error"].(string), "shard-1") {
+		t.Fatalf("error does not name the failed leg: %v", obj)
+	}
+	if _, ok := obj["acked"].(map[string]interface{})["shard-0"]; !ok {
+		t.Fatalf("acked legs missing — client cannot avoid double-ingest: %v", obj)
+	}
+}

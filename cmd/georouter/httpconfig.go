@@ -1,0 +1,53 @@
+package main
+
+import (
+	"net/http"
+	"time"
+)
+
+// httpOptions collects the listener-level timeout knobs; same shape
+// and rationale as geoserve's — an http.Server with a zero
+// ReadHeaderTimeout or IdleTimeout holds slow-loris and idle
+// keep-alive connections forever.
+type httpOptions struct {
+	addr              string
+	readTimeout       time.Duration
+	readHeaderTimeout time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+}
+
+const (
+	defaultReadTimeout       = 10 * time.Second
+	defaultReadHeaderTimeout = 5 * time.Second
+	// defaultWriteTimeout must cover a full scatter-gather fan-out
+	// including shard retries, so it sits above the default
+	// -query-timeout rather than above a single shard's deadline.
+	defaultWriteTimeout = 30 * time.Second
+	defaultIdleTimeout  = 120 * time.Second
+)
+
+// newHTTPServer builds the coordinator's http.Server with every
+// timeout populated (zero fields fall back to the defaults above).
+func newHTTPServer(opts httpOptions, h http.Handler) *http.Server {
+	if opts.readTimeout <= 0 {
+		opts.readTimeout = defaultReadTimeout
+	}
+	if opts.readHeaderTimeout <= 0 {
+		opts.readHeaderTimeout = defaultReadHeaderTimeout
+	}
+	if opts.writeTimeout <= 0 {
+		opts.writeTimeout = defaultWriteTimeout
+	}
+	if opts.idleTimeout <= 0 {
+		opts.idleTimeout = defaultIdleTimeout
+	}
+	return &http.Server{
+		Addr:              opts.addr,
+		Handler:           h,
+		ReadTimeout:       opts.readTimeout,
+		ReadHeaderTimeout: opts.readHeaderTimeout,
+		WriteTimeout:      opts.writeTimeout,
+		IdleTimeout:       opts.idleTimeout,
+	}
+}

@@ -63,6 +63,7 @@ func main() {
 	eps := flag.Float64("eps", 0.02, "RoI extraction ε (spatial closeness)")
 	tau := flag.Int("tau", 30, "RoI extraction τ (minimum dwell samples)")
 
+	shardID := flag.String("shard-id", "", "this instance's id in a georouter shard map; reported by /healthz for routing cross-checks (empty: single-node)")
 	cacheSize := flag.Int("cache-size", 0, "epoch-keyed result cache capacity in entries (0: cache disabled)")
 	statsEvery := flag.Duration("stats-interval", 0, "log epoch/cache serving stats at this period (0: only on shutdown)")
 	allowCorrupt := flag.Bool("allow-corrupt-snapshot", false, "serve despite a corrupt snapshot file: static mode refuses, streaming mode rebuilds from the WAL alone; /healthz reports degraded")
@@ -80,6 +81,7 @@ func main() {
 		DefaultTimeout:     *queryTimeout,
 		MaxTimeout:         *maxQueryTimeout,
 		CacheSize:          *cacheSize,
+		ShardID:            *shardID,
 	}
 
 	if (*dbPath == "") == (*walPath == "") {

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/hashring"
+	"geofootprint/internal/router"
+	"geofootprint/internal/search"
+	"geofootprint/internal/server"
+	"geofootprint/internal/store"
+)
+
+// ScatterRow is one point of the distributed-serving scaling
+// measurement: top-k throughput through the georouter scatter-gather
+// path with the part's corpus ring-split across N in-process geoserve
+// shards (loopback HTTP, so the numbers isolate the serving plane from
+// the network).
+type ScatterRow struct {
+	Part          string  `json:"part"`
+	Shards        int     `json:"shards"`
+	Users         int     `json:"users"`
+	Queries       int     `json:"queries"`
+	K             int     `json:"k"`
+	Clients       int     `json:"clients"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	MeanMicros    float64 `json:"mean_micros"`
+	// SpeedupVs1 is QueriesPerSec relative to the 1-shard run of the
+	// same part — the scaling factor the experiment exists to measure.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	// Verified reports that every response in a pre-timing pass was
+	// bit-identical to LinearScan on the unpartitioned store.
+	Verified bool `json:"verified"`
+}
+
+// scatterRegion mirrors the server's region wire format.
+type scatterRegion struct {
+	Rect   [4]float64 `json:"rect"`
+	Weight float64    `json:"weight"`
+}
+
+func encodeRegions(f core.Footprint) (json.RawMessage, error) {
+	regs := make([]scatterRegion, len(f))
+	for i, r := range f {
+		regs[i] = scatterRegion{
+			Rect:   [4]float64{r.Rect.MinX, r.Rect.MinY, r.Rect.MaxX, r.Rect.MaxY},
+			Weight: r.Weight,
+		}
+	}
+	return json.Marshal(regs)
+}
+
+// ScatterBench ring-splits the workload across each shard count,
+// serves every split from real geoserve handlers over loopback HTTP,
+// and measures router top-k throughput with `clients` concurrent
+// query goroutines (<= 0: min(8, GOMAXPROCS)). Before timing, every
+// query's routed answer is checked bit-identical against LinearScan
+// on the unpartitioned store; a divergence is an error, not a number.
+func ScatterBench(w *Workload, shardCounts []int, queries, k, clients int, seed int64) ([]ScatterRow, error) {
+	db := w.DB
+	n := db.Len()
+	if queries > n {
+		queries = n
+	}
+	if clients <= 0 {
+		clients = runtime.GOMAXPROCS(0)
+		if clients > 8 {
+			clients = 8
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	qIdx := rng.Perm(n)[:queries]
+	bodies := make([]json.RawMessage, queries)
+	for i, qi := range qIdx {
+		b, err := encodeRegions(db.Footprints[qi])
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	oracle := search.NewLinearScan(db)
+	want := make([][]search.Result, queries)
+	for i, qi := range qIdx {
+		want[i] = oracle.TopK(db.Footprints[qi], k)
+	}
+
+	rows := make([]ScatterRow, 0, len(shardCounts))
+	var base float64
+	for _, shards := range shardCounts {
+		r, cleanup, err := startScatterCluster(db, shards)
+		if err != nil {
+			return nil, err
+		}
+		row := ScatterRow{Part: w.Part, Shards: shards, Users: n, Queries: queries, K: k, Clients: clients}
+
+		// Verification pass (also warms every shard's engine and the
+		// HTTP connection pool, so the timed pass measures steady
+		// state).
+		row.Verified = true
+		for i := range bodies {
+			res, err := r.TopK(context.Background(), router.Query{Regions: bodies[i], K: k})
+			if err != nil {
+				cleanup()
+				return nil, fmt.Errorf("scatter %d shards: query %d: %w", shards, i, err)
+			}
+			if res.Partial {
+				cleanup()
+				return nil, fmt.Errorf("scatter %d shards: query %d answered partial on a healthy cluster", shards, i)
+			}
+			g, _ := json.Marshal(res.Results)
+			o, _ := json.Marshal(want[i])
+			if string(g) != string(o) {
+				cleanup()
+				return nil, fmt.Errorf("scatter %d shards: query %d diverged from LinearScan:\nrouter: %s\noracle: %s", shards, i, g, o)
+			}
+		}
+
+		var next int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= queries {
+						return
+					}
+					if _, err := r.TopK(context.Background(), router.Query{Regions: bodies[i], K: k}); err != nil {
+						panic(fmt.Sprintf("scatter bench query failed mid-measurement: %v", err))
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		row.WallSeconds = time.Since(start).Seconds()
+		cleanup()
+
+		if row.WallSeconds > 0 {
+			row.QueriesPerSec = float64(queries) / row.WallSeconds
+			row.MeanMicros = row.WallSeconds * 1e6 / float64(queries)
+		}
+		if shards == 1 {
+			base = row.QueriesPerSec
+		}
+		if base > 0 {
+			row.SpeedupVs1 = row.QueriesPerSec / base
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// startScatterCluster ring-splits db across n in-process geoserve
+// shards and fronts them with a Router. The returned cleanup closes
+// the router and every shard server.
+func startScatterCluster(db *store.FootprintDB, n int) (*router.Router, func(), error) {
+	pre := &hashring.Map{Version: hashring.MapVersion}
+	for i := 0; i < n; i++ {
+		pre.Shards = append(pre.Shards, hashring.Shard{
+			ID: fmt.Sprintf("shard-%d", i), Addr: fmt.Sprintf("http://pre-%d", i),
+		})
+	}
+	ring, err := hashring.NewRing(pre)
+	if err != nil {
+		return nil, nil, err
+	}
+	subIDs := make([][]int, n)
+	subFPs := make([][]core.Footprint, n)
+	for u, id := range db.IDs {
+		i := ring.OwnerIndex(id)
+		subIDs[i] = append(subIDs[i], id)
+		subFPs[i] = append(subFPs[i], db.Footprints[u])
+	}
+
+	live := &hashring.Map{Version: hashring.MapVersion}
+	var srvs []*httptest.Server
+	cleanup := func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		sub, err := store.FromFootprints(fmt.Sprintf("shard-%d", i), subIDs[i], subFPs[i])
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		hs := httptest.NewServer(server.NewWithOptions(sub, server.Options{
+			ShardID: fmt.Sprintf("shard-%d", i),
+		}).Handler())
+		srvs = append(srvs, hs)
+		live.Shards = append(live.Shards, hashring.Shard{ID: fmt.Sprintf("shard-%d", i), Addr: hs.URL})
+	}
+	r, err := router.New(router.Config{
+		Map:            live,
+		HealthInterval: -1,
+		Logger:         log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	r.CheckHealth(context.Background())
+	all := cleanup
+	cleanup = func() {
+		r.Close()
+		all()
+	}
+	return r, cleanup, nil
+}

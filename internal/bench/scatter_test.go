@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+// Tiny end-to-end run of the scatter-gather scaling measurement:
+// every row verified bit-identical to LinearScan on the union store,
+// well-formed throughput numbers, speedups relative to the 1-shard
+// baseline.
+func TestScatterBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke is not short")
+	}
+	w, err := NewWorkload("A", 0.002, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ScatterBench(w, []int{1, 2}, 20, 5, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Verified {
+			t.Errorf("%d shards: row not verified against LinearScan", r.Shards)
+		}
+		if r.QueriesPerSec <= 0 || r.MeanMicros <= 0 || r.Users == 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+	}
+	if rows[0].Shards != 1 || rows[0].SpeedupVs1 != 1 {
+		t.Errorf("1-shard row is not its own baseline: %+v", rows[0])
+	}
+	if rows[1].SpeedupVs1 <= 0 {
+		t.Errorf("2-shard speedup not computed: %+v", rows[1])
+	}
+}

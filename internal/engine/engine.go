@@ -190,9 +190,38 @@ func (e *QueryEngine) shardWorkers(n int) int {
 // (strict total order on score desc, user ID asc), and every partial
 // heap retains every result that can appear in the global top k.
 func mergeParts(parts []*topk.Collector, k int) []search.Result {
+	lists := make([][]search.Result, len(parts))
+	for i, p := range parts {
+		lists[i] = p.Results()
+	}
+	return MergeParts(lists, k)
+}
+
+// MergeParts merges independently computed partial top-k result lists
+// into the global top-k under the system-wide total order (score
+// desc, user ID asc). It is the deterministic merge seam every
+// composition layer shares: per-worker heaps within a query (this
+// package), and per-shard partial heaps across the wire
+// (internal/router) — the cross-shard result is byte-identical to a
+// single-node run exactly because both sides reduce to this function.
+//
+// The operation is associative: merging pre-merged partials equals
+// merging the flat parts, MergeParts([MergeParts(A,k),
+// MergeParts(B,k)], k) == MergeParts(A ++ B, k). Proof sketch: every
+// element of the global top-k over A ∪ B is, within its own part,
+// outranked by fewer than k elements, so a per-part top-k retains it;
+// and the collector's retained set is a function of the multiset of
+// offers, not their order (property-tested in merge_test.go).
+//
+// Each part must be the output of a bounded top-k over its slice of
+// the corpus with at least the same k — a part truncated below k may
+// have discarded a global top-k member, which is exactly the
+// "partial result" case the router reports explicitly rather than
+// merging silently.
+func MergeParts(parts [][]search.Result, k int) []search.Result {
 	col := topk.New(k)
 	for _, p := range parts {
-		for _, r := range p.Results() {
+		for _, r := range p {
 			col.Offer(r.ID, r.Score)
 		}
 	}

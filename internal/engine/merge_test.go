@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"geofootprint/internal/search"
+	"geofootprint/internal/topk"
+)
+
+// randomResults draws n results with IDs from [1, idSpace] (possibly
+// repeating across calls — two shards never share a user, but the
+// merge seam must not depend on that) and scores from a small value
+// pool so ties are common and the ID tie-break is exercised.
+func randomResults(rng *rand.Rand, n, idSpace int) []search.Result {
+	scores := []float64{0.1, 0.25, 0.25, 0.5, 0.7071067811865476, 0.9}
+	out := make([]search.Result, n)
+	for i := range out {
+		out[i] = search.Result{
+			ID:    1 + rng.Intn(idSpace),
+			Score: scores[rng.Intn(len(scores))],
+		}
+	}
+	return out
+}
+
+// topkOf is the oracle: offer everything to one collector.
+func topkOf(lists [][]search.Result, k int) []search.Result {
+	col := topk.New(k)
+	for _, l := range lists {
+		for _, r := range l {
+			col.Offer(r.ID, r.Score)
+		}
+	}
+	return col.Results()
+}
+
+// TestMergePartsAssociative is the property the cross-shard merge
+// relies on: pre-merging any grouping of the parts, then merging the
+// pre-merged partials, equals merging the flat parts directly. This
+// is what lets each shard reduce its users to a local top-k and the
+// router reduce the shard partials again, with the composed result
+// identical to a single node scanning the union.
+func TestMergePartsAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nParts := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(12)
+		parts := make([][]search.Result, nParts)
+		for i := range parts {
+			parts[i] = randomResults(rng, rng.Intn(40), 60)
+		}
+		flat := MergeParts(parts, k)
+
+		// Random grouping of the parts into contiguous groups, each
+		// pre-merged with the same k.
+		var premerged [][]search.Result
+		for i := 0; i < nParts; {
+			j := i + 1 + rng.Intn(nParts-i)
+			premerged = append(premerged, MergeParts(parts[i:j], k))
+			i = j
+		}
+		grouped := MergeParts(premerged, k)
+		if !reflect.DeepEqual(flat, grouped) {
+			t.Fatalf("trial %d: grouped merge diverged\nflat:    %v\ngrouped: %v", trial, flat, grouped)
+		}
+
+		// And against the single-collector oracle, in a shuffled offer
+		// order: the retained set is a function of the multiset.
+		shuffled := make([][]search.Result, nParts)
+		perm := rng.Perm(nParts)
+		for i, p := range perm {
+			shuffled[i] = parts[p]
+		}
+		if oracle := topkOf(shuffled, k); !reflect.DeepEqual(flat, oracle) {
+			t.Fatalf("trial %d: merge depends on offer order\nflat:   %v\noracle: %v", trial, flat, oracle)
+		}
+	}
+}
+
+// Pre-merging with a larger k than the final merge also composes: a
+// shard configured to return more than the router asks for can never
+// change the answer (it only retains more).
+func TestMergePartsLargerPartialK(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(8)
+		parts := [][]search.Result{
+			randomResults(rng, 30, 50),
+			randomResults(rng, 30, 50),
+			randomResults(rng, 30, 50),
+		}
+		flat := MergeParts(parts, k)
+		var wide [][]search.Result
+		for _, p := range parts {
+			wide = append(wide, MergeParts([][]search.Result{p}, k+rng.Intn(5)+1))
+		}
+		if got := MergeParts(wide, k); !reflect.DeepEqual(flat, got) {
+			t.Fatalf("trial %d: k-wider partials changed the merge\nwant: %v\ngot:  %v", trial, flat, got)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"geofootprint/internal/cache"
 	"geofootprint/internal/core"
@@ -13,13 +14,30 @@ import (
 // View bundles everything one epoch needs to answer queries: the
 // frozen database, its user-centric index, and the engines for the
 // HTTP-selectable methods. A View is built once per published epoch —
-// off the query path, on the write side — and is immutable afterwards,
-// so any number of queries can share it lock-free.
+// off the query path, on the write side — and is logically immutable
+// afterwards, so any number of queries can share it lock-free.
+//
+// The user-centric and sketch engines are built eagerly (they serve
+// production traffic and share one index). The remaining Section 6
+// methods — linear, iterative, batch — are HTTP-selectable too, but
+// built lazily on first use behind a sync.Once: the iterative/batch
+// RoI index costs a full R-tree over every region of every user, and
+// paying that on every epoch publish would tax the ingest path for
+// methods whose callers are equivalence tests (the cross-shard
+// determinism suite drives all four methods through the router) and
+// operators comparing methods in place.
 type View struct {
-	db  *store.FootprintDB
-	idx *search.UserCentricIndex
-	uc  *QueryEngine
-	sk  *QueryEngine // nil when the database's sketch layer is disabled
+	db      *store.FootprintDB
+	idx     *search.UserCentricIndex
+	uc      *QueryEngine
+	sk      *QueryEngine // nil when the database's sketch layer is disabled
+	workers int
+
+	linOnce sync.Once
+	lin     *QueryEngine
+	roiOnce sync.Once
+	iter    *QueryEngine
+	batch   *QueryEngine
 }
 
 // NewView indexes db and builds its query engines. db must already be
@@ -29,9 +47,10 @@ type View struct {
 func NewView(db *store.FootprintDB, workers int) *View {
 	idx := search.NewUserCentricIndex(db, search.BuildSTR, 0)
 	v := &View{
-		db:  db,
-		idx: idx,
-		uc:  New(db, Options{Workers: workers, UserCentric: idx}),
+		db:      db,
+		idx:     idx,
+		uc:      New(db, Options{Workers: workers, UserCentric: idx}),
+		workers: workers,
 	}
 	if db.SketchesEnabled() {
 		v.sk = New(db, Options{Workers: workers, UserCentric: idx, Method: MethodSketch})
@@ -45,7 +64,11 @@ func (v *View) DB() *store.FootprintDB { return v.db }
 // Index returns the view's user-centric index.
 func (v *View) Index() *search.UserCentricIndex { return v.idx }
 
-// Engine maps a request's method name to the engine executing it.
+// Engine maps a request's method name to the engine executing it. All
+// four Section 6 search paths (plus the sketch engine) are selectable,
+// and on the same database they return bit-identical rankings — which
+// is what lets the cross-shard determinism suite compare any of them
+// against LinearScan over the wire.
 func (v *View) Engine(method string) (*QueryEngine, error) {
 	switch method {
 	case "", "user-centric":
@@ -55,8 +78,26 @@ func (v *View) Engine(method string) (*QueryEngine, error) {
 			return nil, fmt.Errorf("method %q unavailable: sketch layer disabled", method)
 		}
 		return v.sk, nil
+	case "linear":
+		v.linOnce.Do(func() {
+			v.lin = New(v.db, Options{Workers: v.workers, Method: MethodLinear})
+		})
+		return v.lin, nil
+	case "iterative", "batch":
+		v.roiOnce.Do(func() {
+			// One RoI index shared by both Section 6.1 engines; built
+			// against the frozen database, so lazy construction is safe
+			// under concurrent queries (the Once is the only gate).
+			roi := search.NewRoIIndex(v.db, search.BuildSTR, 0)
+			v.iter = New(v.db, Options{Workers: v.workers, Method: MethodIterative, RoI: roi})
+			v.batch = New(v.db, Options{Workers: v.workers, Method: MethodBatch, RoI: roi})
+		})
+		if method == "iterative" {
+			return v.iter, nil
+		}
+		return v.batch, nil
 	default:
-		return nil, fmt.Errorf("unknown method %q (want \"user-centric\" or \"sketch\")", method)
+		return nil, fmt.Errorf("unknown method %q (want \"user-centric\", \"linear\", \"iterative\", \"batch\" or \"sketch\")", method)
 	}
 }
 

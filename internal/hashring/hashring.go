@@ -1,0 +1,254 @@
+// Package hashring assigns user IDs to shards with consistent
+// hashing, the partitioning layer of the distributed serving plane.
+//
+// The workload is embarrassingly partitionable by user: every search
+// method scores whole users, and a user's similarity to a query
+// depends only on that user's own footprint and norm. So the corpus
+// can be split user-wise across N geoserve shards and a coordinator
+// (cmd/georouter) can scatter a top-k query to all shards and merge
+// the partial heaps — with results bit-identical to a single node
+// holding the union (see internal/router).
+//
+// Two properties matter and both are guaranteed here:
+//
+//   - Reproducibility. Assignments are a pure function of the shard
+//     map (IDs + replica count) and the user ID: FNV-1a over
+//     deterministic byte strings, ties broken by shard ID, no
+//     process-local state. The same shard-map file yields the same
+//     placement on every host, every run — which is what lets an
+//     offline splitter (geobench -exp scatter, bench.SplitByRing) and
+//     a live router agree on who owns whom.
+//   - Stability. Consistent hashing moves only ~1/N of the users when
+//     a shard is added or removed, so resharding is incremental
+//     rather than a full reshuffle.
+//
+// The shard map itself is a static JSON file (see Map): explicit,
+// versioned, diffable in review, and free of any coordination
+// service. Operators scale by editing the file and restarting the
+// router.
+package hashring
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per shard when the map
+// does not specify one. 128 vnodes keeps the load imbalance across
+// shards within a few percent for the shard counts this system
+// targets (single digits to low hundreds).
+const DefaultReplicas = 128
+
+// MapVersion is the current shard-map file format version.
+const MapVersion = 1
+
+// Shard is one geoserve instance in the map: a stable identifier
+// (used for hashing, logging and /healthz cross-checks) and the base
+// URL the router dials.
+type Shard struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Map is the static shard-map file format: the complete, versioned
+// description of the cluster topology. Assignments are reproducible
+// from this file alone.
+//
+//	{
+//	  "version": 1,
+//	  "replicas": 128,
+//	  "shards": [
+//	    {"id": "shard-0", "addr": "http://10.0.0.1:8080"},
+//	    {"id": "shard-1", "addr": "http://10.0.0.2:8080"}
+//	  ]
+//	}
+type Map struct {
+	Version int `json:"version"`
+	// Replicas is the virtual-node count per shard; 0 selects
+	// DefaultReplicas. Changing it reshuffles assignments, so it is
+	// part of the persisted format, not a router flag.
+	Replicas int     `json:"replicas,omitempty"`
+	Shards   []Shard `json:"shards"`
+}
+
+// Validate checks the structural invariants the router and ring rely
+// on: supported version, at least one shard, and non-empty, unique
+// shard IDs and addresses. A duplicate shard ID would make ownership
+// ambiguous (two shards claiming the same hash points), which is
+// exactly the misconfiguration the router's /healthz cross-check
+// exists to catch at runtime — here it is caught at load time.
+func (m *Map) Validate() error {
+	if m.Version != MapVersion {
+		return fmt.Errorf("hashring: unsupported shard-map version %d (want %d)", m.Version, MapVersion)
+	}
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("hashring: shard map has no shards")
+	}
+	if m.Replicas < 0 {
+		return fmt.Errorf("hashring: negative replica count %d", m.Replicas)
+	}
+	ids := make(map[string]bool, len(m.Shards))
+	addrs := make(map[string]bool, len(m.Shards))
+	for i, s := range m.Shards {
+		if s.ID == "" {
+			return fmt.Errorf("hashring: shard %d has an empty id", i)
+		}
+		if s.Addr == "" {
+			return fmt.Errorf("hashring: shard %q has an empty addr", s.ID)
+		}
+		if ids[s.ID] {
+			return fmt.Errorf("hashring: duplicate shard id %q", s.ID)
+		}
+		if addrs[s.Addr] {
+			return fmt.Errorf("hashring: duplicate shard addr %q (shard %q)", s.Addr, s.ID)
+		}
+		ids[s.ID] = true
+		addrs[s.Addr] = true
+	}
+	return nil
+}
+
+// replicas returns the effective virtual-node count.
+func (m *Map) replicas() int {
+	if m.Replicas <= 0 {
+		return DefaultReplicas
+	}
+	return m.Replicas
+}
+
+// LoadMap reads and validates a shard-map file.
+func LoadMap(path string) (*Map, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // read-only open; decode errors surface below
+	m, err := DecodeMap(f)
+	if err != nil {
+		return nil, fmt.Errorf("hashring: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// DecodeMap decodes and validates a shard map from JSON. Unknown
+// fields are rejected so a typo'd key (e.g. "replica") fails loudly
+// instead of silently changing placement.
+func DecodeMap(r io.Reader) (*Map, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var m Map
+	if err := dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// EncodeMap writes m as indented JSON — the canonical on-disk form.
+func EncodeMap(w io.Writer, m *Map) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// point is one virtual node on the ring.
+type point struct {
+	hash  uint64
+	shard int // index into Ring.shards
+}
+
+// Ring is an immutable consistent-hash ring built from a validated
+// Map. Safe for concurrent use.
+type Ring struct {
+	shards []Shard
+	points []point
+}
+
+// NewRing builds the ring: replicas virtual nodes per shard, each at
+// FNV-1a("<shard-id>#<replica>"), sorted by hash with ties broken by
+// shard index (shard order in the map is part of the deterministic
+// input, and IDs are unique, so ties cannot flip between runs).
+func NewRing(m *Map) (*Ring, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Ring{
+		shards: append([]Shard(nil), m.Shards...),
+		points: make([]point, 0, len(m.Shards)*m.replicas()),
+	}
+	for si, s := range r.shards {
+		for v := 0; v < m.replicas(); v++ {
+			h := fnv.New64a()
+			io.WriteString(h, s.ID)            // fnv.Write cannot fail
+			io.WriteString(h, "#")             // fnv.Write cannot fail
+			io.WriteString(h, strconv.Itoa(v)) // fnv.Write cannot fail
+			r.points = append(r.points, point{hash: mix64(h.Sum64()), shard: si})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection that
+// spreads FNV's weakly mixed low bits over the whole ring. Without it,
+// vnode hashes of short labels cluster badly enough to skew the load
+// split past 2x at 8 shards. Fixed constants — part of the persisted
+// assignment function, never change them.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashUser hashes a user ID to a ring position: FNV-1a over the
+// little-endian 8-byte encoding, finalized with mix64.
+// Process-independent by construction.
+func hashUser(user int) uint64 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(user))
+	h := fnv.New64a()
+	h.Write(b[:]) // fnv.Write cannot fail
+	return mix64(h.Sum64())
+}
+
+// OwnerIndex returns the index (into Shards()) of the shard owning
+// user: the first virtual node clockwise from the user's hash.
+func (r *Ring) OwnerIndex(user int) int {
+	h := hashUser(user)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].shard
+}
+
+// Owner returns the shard owning user.
+func (r *Ring) Owner(user int) Shard {
+	return r.shards[r.OwnerIndex(user)]
+}
+
+// Shards returns the ring's shards in map order. The returned slice
+// is shared — read-only.
+func (r *Ring) Shards() []Shard { return r.shards }
+
+// N returns the shard count.
+func (r *Ring) N() int { return len(r.shards) }

@@ -1,0 +1,163 @@
+package hashring
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testMap(n int) *Map {
+	m := &Map{Version: MapVersion}
+	for i := 0; i < n; i++ {
+		m.Shards = append(m.Shards, Shard{
+			ID:   fmt.Sprintf("shard-%d", i),
+			Addr: fmt.Sprintf("http://127.0.0.1:%d", 9000+i),
+		})
+	}
+	return m
+}
+
+// Assignments must be a pure function of the shard map: two rings
+// built from equal maps agree on every user, and shard order in the
+// file does not matter (hash points are labelled by shard ID).
+func TestRingDeterministic(t *testing.T) {
+	m := testMap(4)
+	r1, err := NewRing(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(testMap(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := &Map{Version: MapVersion, Shards: []Shard{m.Shards[2], m.Shards[0], m.Shards[3], m.Shards[1]}}
+	r3, err := NewRing(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 10000; u++ {
+		a := r1.Owner(u).ID
+		if b := r2.Owner(u).ID; a != b {
+			t.Fatalf("user %d: run 1 says %s, run 2 says %s", u, a, b)
+		}
+		if c := r3.Owner(u).ID; a != c {
+			t.Fatalf("user %d: map order changed owner %s -> %s", u, a, c)
+		}
+	}
+}
+
+// With enough virtual nodes the load split stays near uniform: no
+// shard more than 2x off the fair share over a large user range.
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		r, err := NewRing(testMap(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, n)
+		const users = 100000
+		for u := 1; u <= users; u++ {
+			counts[r.OwnerIndex(u)]++
+		}
+		fair := float64(users) / float64(n)
+		for i, c := range counts {
+			if ratio := float64(c) / fair; ratio < 0.5 || ratio > 2.0 {
+				t.Errorf("n=%d shard %d holds %d users (%.2fx fair share)", n, i, c, ratio)
+			}
+		}
+	}
+}
+
+// Consistent hashing's point: growing the cluster from N to N+1
+// shards moves roughly 1/(N+1) of the users and never moves a user
+// between two pre-existing shards.
+func TestRingStability(t *testing.T) {
+	const users = 50000
+	r4, err := NewRing(testMap(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := NewRing(testMap(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for u := 1; u <= users; u++ {
+		a, b := r4.Owner(u).ID, r5.Owner(u).ID
+		if a != b {
+			moved++
+			if b != "shard-4" {
+				t.Fatalf("user %d moved between pre-existing shards %s -> %s", u, a, b)
+			}
+		}
+	}
+	frac := float64(moved) / users
+	if math.Abs(frac-1.0/5) > 0.1 {
+		t.Errorf("adding a 5th shard moved %.1f%% of users, want ~20%%", 100*frac)
+	}
+}
+
+func TestMapValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Map
+		want string
+	}{
+		{"wrong version", &Map{Version: 2, Shards: testMap(1).Shards}, "version"},
+		{"no shards", &Map{Version: MapVersion}, "no shards"},
+		{"empty id", &Map{Version: MapVersion, Shards: []Shard{{Addr: "http://x"}}}, "empty id"},
+		{"empty addr", &Map{Version: MapVersion, Shards: []Shard{{ID: "a"}}}, "empty addr"},
+		{"dup id", &Map{Version: MapVersion, Shards: []Shard{{ID: "a", Addr: "http://x"}, {ID: "a", Addr: "http://y"}}}, "duplicate shard id"},
+		{"dup addr", &Map{Version: MapVersion, Shards: []Shard{{ID: "a", Addr: "http://x"}, {ID: "b", Addr: "http://x"}}}, "duplicate shard addr"},
+		{"negative replicas", &Map{Version: MapVersion, Replicas: -1, Shards: testMap(1).Shards}, "negative replica"},
+	}
+	for _, c := range cases {
+		err := c.m.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+	if err := testMap(3).Validate(); err != nil {
+		t.Errorf("valid map rejected: %v", err)
+	}
+}
+
+// The file format round-trips, rejects unknown fields, and a loaded
+// map yields the same assignments as the in-memory one it came from.
+func TestMapFileRoundTrip(t *testing.T) {
+	m := testMap(3)
+	m.Replicas = 64
+	var buf bytes.Buffer
+	if err := EncodeMap(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "shards.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Replicas != 64 || len(got.Shards) != 3 || got.Shards[1] != m.Shards[1] {
+		t.Fatalf("round trip mangled the map: %+v", got)
+	}
+	r1, _ := NewRing(m)
+	r2, _ := NewRing(got)
+	for u := 0; u < 5000; u++ {
+		if r1.Owner(u) != r2.Owner(u) {
+			t.Fatalf("user %d: owner changed across save/load", u)
+		}
+	}
+
+	if _, err := DecodeMap(strings.NewReader(`{"version":1,"replica":9,"shards":[{"id":"a","addr":"http://x"}]}`)); err == nil {
+		t.Fatal("unknown field accepted silently")
+	}
+	if _, err := LoadMap(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

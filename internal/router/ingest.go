@@ -1,0 +1,142 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"geofootprint/internal/ingest"
+)
+
+// IngestResult reports where a routed batch landed: one entry per
+// owning shard with the WAL LSN its /v1/ingest acknowledged.
+type IngestResult struct {
+	// Samples is the total routed sample count.
+	Samples int `json:"samples"`
+	// Shards maps shard ID -> acknowledged LSN on that shard's WAL.
+	Shards map[string]uint64 `json:"shards"`
+}
+
+// IngestError is a routed-batch failure with enough structure for the
+// coordinator to answer honestly: which shard legs failed (and why),
+// and which succeeded before the failure was known — those samples
+// ARE durable on their shards, and the client must know a retry of
+// the whole batch will re-ingest them.
+type IngestError struct {
+	// Failed maps shard ID -> that leg's error.
+	Failed map[string]error
+	// Acked maps shard ID -> LSN for the legs that succeeded.
+	Acked map[string]uint64
+}
+
+func (e *IngestError) Error() string {
+	ids := make([]string, 0, len(e.Failed))
+	for id := range e.Failed {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "ingest failed on %d/%d shard legs:", len(e.Failed), len(e.Failed)+len(e.Acked))
+	for _, id := range ids {
+		fmt.Fprintf(&b, " %s: %v;", id, e.Failed[id])
+	}
+	return b.String()
+}
+
+// RetryAfter returns the largest Retry-After hint among the failed
+// legs, or "" when none carried one — the coordinator propagates it
+// so feeders back off as far as the most loaded owner asks.
+func (e *IngestError) RetryAfter() string {
+	best := ""
+	for _, err := range e.Failed {
+		var se *StatusError
+		if errors.As(err, &se) && se.RetryAfter > best {
+			best = se.RetryAfter // numeric seconds; lexical max is fine for single digits, callers only need *a* hint
+		}
+	}
+	return best
+}
+
+// ingestAckJSON mirrors the shard's 202 body.
+type ingestAckJSON struct {
+	LSN     uint64 `json:"lsn"`
+	Samples int    `json:"samples"`
+}
+
+// RouteIngest partitions samples by their ring owner and forwards one
+// NDJSON sub-batch to each owning shard, concurrently, with the full
+// client policy (deadline, retries, gate). Durability semantics are
+// per shard, exactly as on a single node: a shard's LSN in the result
+// means that shard's WAL holds its samples. On any leg failure the
+// error is an *IngestError naming both the failed and the already
+// acknowledged legs.
+func (r *Router) RouteIngest(ctx context.Context, samples []ingest.Sample) (*IngestResult, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadQuery)
+	}
+	// Partition by owner. Sample order within a shard's sub-batch
+	// preserves the client's order — the sessionizer depends on
+	// per-user time order, and per-user order survives a stable
+	// partition by user.
+	byShard := make(map[int][]ingest.Sample)
+	for _, s := range samples {
+		i := r.ring.OwnerIndex(s.User)
+		byShard[i] = append(byShard[i], s)
+	}
+
+	res := &IngestResult{Samples: len(samples), Shards: make(map[string]uint64)}
+	ierr := &IngestError{Failed: make(map[string]error), Acked: res.Shards}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for i, sub := range byShard {
+		s := r.shards[i]
+		body := encodeNDJSON(sub)
+		wg.Add(1)
+		go func(s *shard, body []byte) {
+			defer wg.Done()
+			var ack ingestAckJSON
+			err := r.call(ctx, s,
+				func(ctx context.Context) (*http.Request, error) {
+					req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.addr+"/v1/ingest", bytes.NewReader(body))
+					if err != nil {
+						return nil, err
+					}
+					req.Header.Set("Content-Type", "application/x-ndjson")
+					return req, nil
+				},
+				func(_ int, rb io.Reader) error {
+					return decodeJSONBody(rb, &ack)
+				})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				ierr.Failed[s.id] = err
+				return
+			}
+			res.Shards[s.id] = ack.LSN
+		}(s, body)
+	}
+	wg.Wait()
+	if len(ierr.Failed) > 0 {
+		return res, ierr
+	}
+	return res, nil
+}
+
+// encodeNDJSON renders a sub-batch in the shard's POST /v1/ingest
+// wire format. Floats are encoded in Go's shortest round-trip form,
+// so the shard parses back the exact sample bits the router parsed.
+func encodeNDJSON(samples []ingest.Sample) []byte {
+	var buf bytes.Buffer
+	for _, s := range samples {
+		fmt.Fprintf(&buf, `{"user":%d,"x":%g,"y":%g,"t":%g}`+"\n", s.User, s.X, s.Y, s.T)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,168 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"geofootprint/internal/engine"
+	"geofootprint/internal/search"
+)
+
+// Query is the router's top-k request. Regions is kept as raw JSON
+// and forwarded to every shard byte-for-byte: the router never
+// re-encodes the query geometry, so the footprint every shard scores
+// is bit-identical to the one a single node would have parsed from
+// the same client body.
+type Query struct {
+	Regions json.RawMessage `json:"regions"`
+	K       int             `json:"k"`
+	Method  string          `json:"method,omitempty"`
+}
+
+// TopKResult is a merged cross-shard answer. When Partial is false,
+// Results is byte-identical to the same query against a single node
+// holding the union of all shards' users (the cluster equivalence
+// suite proves this for all four methods). When Partial is true,
+// Missing names every shard that was skipped (unhealthy) or failed
+// (errors, deadline), and Results is exact over the remaining shards'
+// users — correct for the corpus that answered, with the gap named,
+// never silently wrong.
+type TopKResult struct {
+	Results []search.Result
+	Partial bool
+	Missing []string
+	// Queried is how many shards contributed results.
+	Queried int
+	// Epochs records, per contributing shard, the epoch that was
+	// serving at its last health probe — observability for "which
+	// epoch answered", logged by the coordinator.
+	Epochs map[string]uint64
+}
+
+// shardResultJSON mirrors the shard's /v1/query response entry.
+type shardResultJSON struct {
+	ID         int     `json:"id"`
+	Similarity float64 `json:"similarity"`
+}
+
+// ErrBadQuery marks client-side validation failures (the coordinator
+// maps it to 400); ErrUnavailable marks "no shard could answer" (503).
+var (
+	ErrBadQuery    = errors.New("bad query")
+	ErrUnavailable = errors.New("no shard available")
+)
+
+// TopK scatter-gathers q to every serving shard and merges the
+// per-shard partial top-k lists with engine.MergeParts. The context
+// bounds the whole fan-out: legs that miss the deadline (including
+// waiting at a full admission gate) are reported missing rather than
+// stalling the merge.
+func (r *Router) TopK(ctx context.Context, q Query) (*TopKResult, error) {
+	if q.K < 1 || q.K > 1000 {
+		return nil, fmt.Errorf("%w: k must be in [1,1000], got %d", ErrBadQuery, q.K)
+	}
+	if len(q.Regions) == 0 {
+		return nil, fmt.Errorf("%w: query has no regions", ErrBadQuery)
+	}
+	body, err := json.Marshal(q) // regions pass through as raw bytes
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TopKResult{Epochs: make(map[string]uint64)}
+	parts := make([][]search.Result, len(r.shards))
+	legErr := make([]error, len(r.shards))
+	skipped := make([]bool, len(r.shards))
+
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		h := s.Health()
+		if !h.serving() {
+			skipped[i] = true
+			legErr[i] = fmt.Errorf("shard %s %s%s", s.id, h.State, detailSuffix(h.Detail))
+			continue
+		}
+		res.Epochs[s.id] = h.Epoch
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			legErr[i] = r.call(ctx, s,
+				func(ctx context.Context) (*http.Request, error) {
+					req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.addr+"/v1/query", bytes.NewReader(body))
+					if err != nil {
+						return nil, err
+					}
+					req.Header.Set("Content-Type", "application/json")
+					return req, nil
+				},
+				func(_ int, rb io.Reader) error {
+					var list []shardResultJSON
+					if err := decodeJSONBody(rb, &list); err != nil {
+						return err
+					}
+					part := make([]search.Result, len(list))
+					for j, e := range list {
+						part[j] = search.Result{ID: e.ID, Score: e.Similarity}
+					}
+					parts[i] = part
+					return nil
+				})
+		}(i, s)
+	}
+	wg.Wait()
+
+	var ok [][]search.Result
+	for i, s := range r.shards {
+		if legErr[i] != nil {
+			res.Partial = true
+			res.Missing = append(res.Missing, s.id)
+			delete(res.Epochs, s.id)
+			if !skipped[i] {
+				r.cfg.Logger.Printf("router: topk leg to shard %s failed: %v", s.id, legErr[i])
+			}
+			continue
+		}
+		ok = append(ok, parts[i])
+		res.Queried++
+	}
+	sort.Strings(res.Missing)
+	if res.Queried == 0 {
+		return nil, fmt.Errorf("%w: no shard answered (%d missing: %v; first: %v)",
+			ErrUnavailable, len(res.Missing), res.Missing, firstErr(legErr))
+	}
+	res.Results = engine.MergeParts(ok, q.K)
+	return res, nil
+}
+
+func detailSuffix(detail string) string {
+	if detail == "" {
+		return ""
+	}
+	return ": " + detail
+}
+
+func firstErr(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// decodeJSONBody decodes exactly one JSON value and drains the rest
+// of the body so the HTTP connection can be reused.
+func decodeJSONBody(r io.Reader, v interface{}) error {
+	if err := json.NewDecoder(r).Decode(v); err != nil {
+		return err
+	}
+	_, err := io.Copy(io.Discard, r)
+	return err
+}

@@ -96,7 +96,7 @@ func (ix *RoIIndex) TopKIterativeCtx(ctx context.Context, q core.Footprint, k in
 			return nil, cerr
 		}
 	}
-	return ix.rankCtx(ctx, simn, qnorm, k)
+	return ix.rankCtx(ctx, simn, q, qnorm, k)
 }
 
 // TopKBatchCtx is TopKBatch honouring ctx. SearchLeaves has no
@@ -174,14 +174,28 @@ func (ix *RoIIndex) TopKBatchCtx(ctx context.Context, q core.Footprint, k int) (
 	if cerr != nil {
 		return nil, cerr
 	}
-	return ix.rankCtx(ctx, simn, qnorm, k)
+	return ix.rankCtx(ctx, simn, q, qnorm, k)
 }
 
-// rankCtx is rank with one cancellation poll per cancelStride users —
-// the accumulator map can hold every user in the database.
+// rankCtx scores the accumulated candidates, with one cancellation
+// poll per cancelStride users — the accumulator map can hold every
+// user in the database.
+//
+// The accumulated numerator decides candidacy (n > 0 means some RoI of
+// the user intersects some query RoI — exactly the users LinearScan
+// would score positive), but the final similarity is recomputed
+// through UserSimilarity, the canonical Algorithm 4 kernel. The
+// accumulated sum itself is NOT used as the score: its float64
+// rounding depends on R-tree visit order, i.e. on tree shape, so the
+// same user on the same query could score differently at the last ulp
+// across build modes, node capacities, or corpus partitions. Scoring
+// through the one shared kernel makes every method's score a pure
+// function of (user footprint, query) — the invariant the result
+// cache, the columnar kernels, and cross-shard scatter-gather all
+// lean on.
 //
 //geo:cancellable
-func (ix *RoIIndex) rankCtx(ctx context.Context, simn map[int]float64, qnorm float64, k int) ([]Result, error) {
+func (ix *RoIIndex) rankCtx(ctx context.Context, simn map[int]float64, q core.Footprint, qnorm float64, k int) ([]Result, error) {
 	col := topk.New(k)
 	var visits int
 	for u, n := range simn {
@@ -194,15 +208,10 @@ func (ix *RoIIndex) rankCtx(ctx context.Context, simn map[int]float64, qnorm flo
 		if n <= 0 {
 			continue
 		}
-		denom := ix.db.Norms[u] * qnorm
-		if denom == 0 {
-			continue
+		sim := ix.db.UserSimilarity(u, q, qnorm)
+		if sim > 0 {
+			col.Offer(ix.db.IDs[u], sim)
 		}
-		sim := n / denom
-		if sim > 1 {
-			sim = 1
-		}
-		col.Offer(ix.db.IDs[u], sim)
 	}
 	return col.Results(), nil
 }

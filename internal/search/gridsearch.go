@@ -55,20 +55,18 @@ func (ix *GridIndex) TopK(q core.Footprint, k int) []Result {
 			return true
 		})
 	}
+	// Candidacy comes from the accumulator; the score comes from the
+	// canonical kernel — see RoIIndex.rankCtx for why the accumulated
+	// sum (whose rounding depends on visit order) is never the score.
 	col := topk.New(k)
 	for u, n := range simn {
 		if n <= 0 {
 			continue
 		}
-		denom := ix.db.Norms[u] * qnorm
-		if denom == 0 {
-			continue
+		sim := ix.db.UserSimilarity(u, q, qnorm)
+		if sim > 0 {
+			col.Offer(ix.db.IDs[u], sim)
 		}
-		sim := n / denom
-		if sim > 1 {
-			sim = 1
-		}
-		col.Offer(ix.db.IDs[u], sim)
 	}
 	return col.Results()
 }

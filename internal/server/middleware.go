@@ -54,6 +54,14 @@ type Options struct {
 	// ones (the cache is keyed by epoch, and epochs are immutable), so
 	// enabling it is purely a performance knob.
 	CacheSize int
+	// ShardID names this instance within a sharded deployment
+	// (geoserve -shard-id). When set, /healthz reports it so the
+	// router can cross-check the shard map: a shard answering with an
+	// unexpected ID — or two map entries answering with the same ID —
+	// is a misrouted address, and the router refuses to trust it
+	// instead of merging the wrong users' scores. Empty for
+	// single-node deployments.
+	ShardID string
 }
 
 // DefaultMaxTimeout caps client-requested query deadlines when

@@ -203,7 +203,9 @@ type queryJSON struct {
 	Regions []regionJSON `json:"regions"`
 	K       int          `json:"k"`
 	// Method selects the search path: "" or "user-centric" for the
-	// default engine, "sketch" for the sketch filter-and-refine engine.
+	// default engine, "linear", "iterative" or "batch" for the other
+	// Section 6 methods, "sketch" for the sketch filter-and-refine
+	// engine. All return identical rankings; they differ in cost.
 	Method string `json:"method,omitempty"`
 }
 
@@ -256,11 +258,20 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	ep, v := s.acquire()
-	users, regions := v.DB().Len(), v.DB().NumRegions()
+	users, regions, seq := v.DB().Len(), v.DB().NumRegions(), ep.Seq()
 	ep.Release()
 	out := map[string]interface{}{
 		"status": "ok", "users": users, "regions": regions,
 		"epoch": s.epochs.Stats(),
+		// epoch_seq is the epoch this probe actually pinned — flat, so
+		// the router can log which epoch answered without digging into
+		// the stats object.
+		"epoch_seq": seq,
+	}
+	if s.opts.ShardID != "" {
+		// The router cross-checks this against its shard map: a
+		// mismatch means the address points at the wrong process.
+		out["shard_id"] = s.opts.ShardID
 	}
 	if st, ok := s.CacheStats(); ok {
 		out["cache"] = st

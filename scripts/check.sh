@@ -52,6 +52,14 @@ go test -race -run '(Fault|Chaos|Crash|Seal|Epoch)' \
 	./internal/server/... ./internal/store/... ./internal/cache/... \
 	./internal/colstore/...
 
+# Cross-shard equivalence suite: scatter-gathered top-k through real
+# shard servers must be bit-identical to single-node LinearScan, stay
+# exact (and explicit) under a degraded shard, and route ingest to the
+# right owners. Concurrent fan-out legs, health probes and admission
+# gates make -race the point here, as with the chaos pass above.
+echo "== cluster: cross-shard scatter-gather equivalence suite (-race) =="
+go test -race -count=1 -run 'TestCluster|TestCoordinator' ./internal/router/ ./cmd/georouter/
+
 # Snapshot-format migration self-test: gob -> columnar -> gob must be
 # byte-identical, so operators can migrate snapshots in either
 # direction without a diffing step.
