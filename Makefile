@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check test lint race chaos cluster-test bench-fig3a bench-sketch bench-ingest bench-qps bench-restart bench-scatter benchdiff clean
+.PHONY: check test lint lintstats race chaos cluster-test bench-fig3a bench-sketch bench-ingest bench-qps bench-restart bench-scatter benchdiff clean
 
 check:
 	./scripts/check.sh
@@ -19,6 +19,12 @@ test:
 # (//lint:ignore <analyzer> <reason>).
 lint:
 	$(GO) run ./cmd/geolint ./...
+
+# Diff `geolint -json` against the committed lint_baseline.json: new
+# findings fail, fixed findings demand a baseline refresh
+# (scripts/lintstats.sh -refresh). check.sh runs this after geolint.
+lintstats:
+	./scripts/lintstats.sh
 
 # No package is excluded: the whole module passes -race in well under
 # two minutes (the internal/bench workload dominates at ~20s). If a

@@ -7,15 +7,26 @@
 //
 // Usage:
 //
-//	geolint [packages]     # defaults to ./...
+//	geolint [-json] [packages]     # defaults to ./...
 //
-// Exit status: 0 clean, 1 findings, 2 load/usage error.
+// With -json, findings are printed as JSON Lines — one object per
+// finding with file (module-relative), line, col, analyzer, message —
+// stable enough to diff against a committed baseline
+// (scripts/lintstats.sh does exactly that).
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage error. A load error
+// prints every failing package, not just the first: CI runs should
+// surface the whole breakage in one pass.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"geofootprint/internal/lint"
 	"geofootprint/internal/lint/loader"
@@ -25,24 +36,71 @@ func main() {
 	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonFinding is the -json wire form of one finding. File is relative
+// to the module root so baselines diff cleanly across checkouts.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // run is main, factored for tests: lint the patterns relative to dir,
 // print findings to out, and return the exit status.
-func run(dir string, patterns []string, out, errw io.Writer) int {
+func run(dir string, args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("geolint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON Lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := loader.Load(dir, patterns...)
 	if err != nil {
-		fmt.Fprintf(errw, "geolint: %v\n", err)
+		// The loader aggregates every load failure into one error;
+		// print each on its own prefixed line.
+		for _, line := range strings.Split(strings.TrimRight(err.Error(), "\n"), "\n") {
+			fmt.Fprintf(errw, "geolint: %s\n", line)
+		}
 		return 2
 	}
 	findings, err := lint.Run(pkgs, lint.Analyzers)
 	if err != nil {
-		fmt.Fprintf(errw, "geolint: %v\n", err)
+		for _, line := range strings.Split(strings.TrimRight(err.Error(), "\n"), "\n") {
+			fmt.Fprintf(errw, "geolint: %s\n", line)
+		}
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(out, f)
+	if *jsonOut {
+		root := dir
+		if abs, err := filepath.Abs(dir); err == nil {
+			root = abs
+		}
+		enc := json.NewEncoder(out)
+		for _, f := range findings {
+			file := f.Pos.Filename
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			if err := enc.Encode(jsonFinding{
+				File:     file,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			}); err != nil {
+				fmt.Fprintf(errw, "geolint: encoding findings: %v\n", err)
+				return 2
+			}
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(errw, "geolint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))

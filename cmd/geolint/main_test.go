@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -48,5 +50,108 @@ func TestCleanPackageExitsZero(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := run(moduleRoot(t), []string{"./internal/lint/analysis"}, &out, &errw); code != 0 {
 		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+}
+
+// TestJSONOutput pins the -json wire format: one JSON object per
+// finding with module-relative file paths — the contract
+// scripts/lintstats.sh diffs against its committed baseline.
+func TestJSONOutput(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run(moduleRoot(t), []string{"-json", "./internal/lint/testdata/src/floatrange/a"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON findings emitted")
+	}
+	for _, line := range lines {
+		var f struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line is not valid JSON: %q: %v", line, err)
+		}
+		if f.Analyzer == "" || f.Message == "" || f.Line == 0 {
+			t.Errorf("incomplete finding: %q", line)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("file path not module-relative: %q", f.File)
+		}
+	}
+}
+
+// TestLoadErrorsAllPrinted: exit 2 must carry every failing package's
+// diagnostics, not just the first one the loader happened to hit.
+func TestLoadErrorsAllPrinted(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run(moduleRoot(t), []string{
+		"./internal/lint/testdata/src/loaderr/broken",
+		"./internal/lint/testdata/src/loaderr/missingdep",
+	}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr:\n%s", code, errw.String())
+	}
+	msg := errw.String()
+	if !strings.Contains(msg, "loaderr/broken") {
+		t.Errorf("stderr missing the broken package:\n%s", msg)
+	}
+	if !strings.Contains(msg, "loaderr/nonexistent") {
+		t.Errorf("stderr missing the unresolvable import:\n%s", msg)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(msg), "\n") {
+		if !strings.HasPrefix(line, "geolint: ") {
+			t.Errorf("unprefixed error line: %q", line)
+		}
+	}
+}
+
+// TestSeededPinLeakFailsGate seeds a real pin leak into internal/server
+// behind a build tag only this test enables, and proves `make lint`
+// would fail: the flow-sensitive analyzers bite on production packages,
+// not just fixtures. The tag keeps the seed invisible to every other
+// build and to TestRepoClean running in a sibling process.
+func TestSeededPinLeakFailsGate(t *testing.T) {
+	root := moduleRoot(t)
+	seed := filepath.Join(root, "internal", "server", "zz_lintseed_test_probe.go")
+	src := `//go:build lintseed
+
+package server
+
+func (s *Server) zzSeededLeak(bad bool) uint64 {
+	ep := s.epochs.Acquire()
+	if ep == nil {
+		return 0
+	}
+	if bad {
+		return 0 // leaks the pin
+	}
+	seq := ep.Seq()
+	ep.Release()
+	return seq
+}
+`
+	if err := os.WriteFile(seed, []byte(src), 0o644); err != nil {
+		t.Fatalf("writing seed: %v", err)
+	}
+	t.Cleanup(func() { os.Remove(seed) })
+	t.Setenv("GOFLAGS", "-tags=lintseed")
+
+	var out, errw bytes.Buffer
+	code := run(root, []string{"./internal/server"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (seeded pin leak must fail the gate)\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "pinleak") {
+		t.Errorf("findings missing pinleak:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "zz_lintseed_test_probe.go") {
+		t.Errorf("finding not attributed to the seeded file:\n%s", out.String())
 	}
 }

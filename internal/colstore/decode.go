@@ -94,8 +94,8 @@ func openMmap(f faultfs.File, fd uintptr, path string) (*Snapshot, error) {
 	}
 	snap, err := parse(m.data, path)
 	if err != nil {
-		//lint:ignore errdiscard unmap on the error path; the parse error is what matters
-		m.close()
+		// Unmap on the error path; the parse error is what matters.
+		_ = m.close()
 		return nil, err
 	}
 	snap.src = m

@@ -33,12 +33,15 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"geofootprint/internal/lint/analysis"
 	"geofootprint/internal/lint/loader"
@@ -54,6 +57,9 @@ var Analyzers = []*analysis.Analyzer{
 	ErrDiscard,
 	CtxCancel,
 	EpochMut,
+	PinLeak,
+	BodyClose,
+	LockBalance,
 }
 
 // Finding is one surfaced (non-suppressed) diagnostic.
@@ -68,19 +74,42 @@ func (f Finding) String() string {
 		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Run applies every analyzer to every package and returns the surviving
-// findings sorted by position. Suppression directives are applied
-// centrally so all analyzers share one mechanism.
+// StaleIgnore is the pseudo-analyzer name under which the driver
+// reports suppression directives that no longer suppress anything, or
+// that name an analyzer that does not exist. A stale //lint:ignore is
+// a lie in the source — it claims a diagnostic is being waved through
+// when there is none — and it rots into cover for a future real
+// finding on the same line, so the driver treats it as a finding of
+// its own.
+const StaleIgnore = "staleignore"
+
+// Run applies every analyzer to every package — packages in parallel,
+// bounded by GOMAXPROCS — and returns the surviving findings sorted by
+// position, so the output order is deterministic regardless of
+// scheduling. Suppression directives are applied centrally, and
+// directives that suppressed nothing across the whole suite are
+// reported under the staleignore pseudo-analyzer.
 func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	results := make([][]Finding, len(pkgs))
+	errs := make([]error, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = RunPackage(pkg, analyzers)
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
 	var all []Finding
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			fs, err := RunOne(pkg, a)
-			if err != nil {
-				return nil, err
-			}
-			all = append(all, fs...)
-		}
+	for _, fs := range results {
+		all = append(all, fs...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -98,11 +127,34 @@ func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, err
 	return all, nil
 }
 
-// RunOne applies a single analyzer to a single package, returning the
-// findings that survive //lint:ignore suppression. Duplicate reports
-// at the same position are collapsed.
-func RunOne(pkg *loader.Package, a *analysis.Analyzer) ([]Finding, error) {
+// RunPackage applies a suite of analyzers to one package with a single
+// shared suppression index, so directive usage can be tracked across
+// the whole suite: after every analyzer has run, any directive that
+// suppressed nothing becomes a staleignore finding.
+func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	sup := newSuppressions(pkg.Fset, pkg.Files)
+	var out []Finding
+	for _, a := range analyzers {
+		fs, err := runWith(pkg, a, sup)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	out = append(out, staleFindings(sup, analyzers)...)
+	return out, nil
+}
+
+// RunOne applies a single analyzer to a single package, returning the
+// findings that survive //lint:ignore suppression. Used by fixture
+// tests, which exercise one analyzer at a time; stale-suppression
+// detection deliberately does not run here (a fixture's directives for
+// other analyzers would all read as stale).
+func RunOne(pkg *loader.Package, a *analysis.Analyzer) ([]Finding, error) {
+	return runWith(pkg, a, newSuppressions(pkg.Fset, pkg.Files))
+}
+
+func runWith(pkg *loader.Package, a *analysis.Analyzer, sup *suppressions) ([]Finding, error) {
 	var out []Finding
 	seen := make(map[string]bool)
 	pass := &analysis.Pass{
@@ -130,15 +182,67 @@ func RunOne(pkg *loader.Package, a *analysis.Analyzer) ([]Finding, error) {
 	return out, nil
 }
 
+// staleFindings reports unused directives after a suite run. A
+// directive naming an analyzer in the run set that suppressed nothing
+// is stale; a directive naming an analyzer that exists in neither the
+// run set nor the full registry is a typo that silently suppresses
+// nothing. A directive for a registered analyzer outside the run set
+// is left alone — a partial run cannot tell whether it is live.
+func staleFindings(sup *suppressions, ran []*analysis.Analyzer) []Finding {
+	inRun := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		inRun[a.Name] = true
+	}
+	registered := make(map[string]bool, len(Analyzers))
+	for _, a := range Analyzers {
+		registered[a.Name] = true
+	}
+	var out []Finding
+	for _, d := range sup.directives {
+		if d.used {
+			continue
+		}
+		switch {
+		case inRun[d.name]:
+			out = append(out, Finding{
+				Pos:      d.pos,
+				Analyzer: StaleIgnore,
+				Message: fmt.Sprintf(
+					"//lint:ignore %s suppresses nothing: no %s diagnostic on this or the next line",
+					d.name, d.name),
+			})
+		case !registered[d.name]:
+			out = append(out, Finding{
+				Pos:      d.pos,
+				Analyzer: StaleIgnore,
+				Message: fmt.Sprintf(
+					"//lint:ignore names unknown analyzer %q", d.name),
+			})
+		}
+	}
+	return out
+}
+
+// directive is one //lint:ignore occurrence, with a usage bit so the
+// driver can tell live suppressions from stale ones after a full
+// suite run.
+type directive struct {
+	pos  token.Position
+	name string
+	used bool
+}
+
 // suppressions indexes //lint:ignore directives by file and line.
 type suppressions struct {
 	fset *token.FileSet
-	// byLine maps filename → line → analyzer names ignored there.
-	byLine map[string]map[int][]string
+	// directives holds every parsed directive in file order.
+	directives []*directive
+	// byLine maps filename → line → directives located there.
+	byLine map[string]map[int][]*directive
 }
 
 func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
-	s := &suppressions{fset: fset, byLine: make(map[string]map[int][]string)}
+	s := &suppressions{fset: fset, byLine: make(map[string]map[int][]*directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -147,12 +251,14 @@ func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				d := &directive{pos: pos, name: name}
+				s.directives = append(s.directives, d)
 				m := s.byLine[pos.Filename]
 				if m == nil {
-					m = make(map[int][]string)
+					m = make(map[int][]*directive)
 					s.byLine[pos.Filename] = m
 				}
-				m[pos.Line] = append(m[pos.Line], name)
+				m[pos.Line] = append(m[pos.Line], d)
 			}
 		}
 	}
@@ -175,15 +281,17 @@ func parseIgnore(comment string) (string, bool) {
 }
 
 // suppressed reports whether a directive for the analyzer sits on the
-// diagnostic's line or the line directly above it.
+// diagnostic's line or the line directly above it, marking the
+// directive used when it matches.
 func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
 	m := s.byLine[pos.Filename]
 	if m == nil {
 		return false
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range m[line] {
-			if name == analyzer {
+		for _, d := range m[line] {
+			if d.name == analyzer {
+				d.used = true
 				return true
 			}
 		}

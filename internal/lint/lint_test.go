@@ -1,10 +1,12 @@
 package lint_test
 
 import (
+	"strings"
 	"testing"
 
 	"geofootprint/internal/lint"
 	"geofootprint/internal/lint/analysistest"
+	"geofootprint/internal/lint/loader"
 )
 
 func TestFloatRange(t *testing.T) {
@@ -51,4 +53,62 @@ func TestErrDiscard(t *testing.T) {
 	analysistest.Run(t, lint.ErrDiscard,
 		"./internal/lint/testdata/src/errdiscard/wal",
 		"./internal/lint/testdata/src/errdiscard/app")
+}
+
+func TestPinLeak(t *testing.T) {
+	analysistest.Run(t, lint.PinLeak,
+		"./internal/lint/testdata/src/pinleak/a")
+}
+
+func TestBodyClose(t *testing.T) {
+	analysistest.Run(t, lint.BodyClose,
+		"./internal/lint/testdata/src/bodyclose/a")
+}
+
+func TestLockBalance(t *testing.T) {
+	analysistest.Run(t, lint.LockBalance,
+		"./internal/lint/testdata/src/lockbalance/a")
+}
+
+// TestStaleIgnore pins the driver-level stale-suppression detection:
+// after a full suite run over the fixture, the unused lockbalance
+// directive and the typo'd analyzer name are findings, and the live
+// suppression is not. Asserted directly (not via // want) because the
+// finding lands on the directive's own line, where a want comment
+// cannot sit.
+func TestStaleIgnore(t *testing.T) {
+	root := analysistest.ModuleRoot(t)
+	pkgs, err := loader.Load(root, "./internal/lint/testdata/src/staleignore/a")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	findings, err := lint.RunPackage(pkgs[0], lint.Analyzers)
+	if err != nil {
+		t.Fatalf("RunPackage: %v", err)
+	}
+	var stale []lint.Finding
+	for _, f := range findings {
+		if f.Analyzer == lint.StaleIgnore {
+			stale = append(stale, f)
+		} else {
+			t.Errorf("unexpected non-stale finding: %s", f)
+		}
+	}
+	if len(stale) != 2 {
+		t.Fatalf("got %d staleignore findings, want 2: %v", len(stale), stale)
+	}
+	if got := stale[0].Message; !strings.Contains(got, "lockbalance suppresses nothing") {
+		t.Errorf("first stale finding = %q, want lockbalance-suppresses-nothing", got)
+	}
+	if got := stale[1].Message; !strings.Contains(got, `unknown analyzer "lockbalanec"`) {
+		t.Errorf("second stale finding = %q, want unknown-analyzer", got)
+	}
+	for _, f := range stale {
+		if f.Pos.Line == 0 || f.Pos.Filename == "" {
+			t.Errorf("stale finding missing position: %+v", f)
+		}
+	}
 }

@@ -1,0 +1,138 @@
+package loader_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geofootprint/internal/lint/loader"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatalf("not in a module (GOMOD=%q)", gomod)
+	}
+	return filepath.Dir(gomod)
+}
+
+// TestBrokenRootAggregatesTypeErrors pins the fallback behaviour for a
+// package that parses but does not type-check: a diagnostic error (all
+// type errors, not just the first), never a panic, never a half-built
+// Package.
+func TestBrokenRootAggregatesTypeErrors(t *testing.T) {
+	pkgs, err := loader.Load(moduleRoot(t), "./internal/lint/testdata/src/loaderr/broken")
+	if err == nil {
+		t.Fatal("want error for broken fixture, got nil")
+	}
+	if pkgs != nil {
+		t.Fatalf("want nil packages on error, got %d", len(pkgs))
+	}
+	msg := err.Error()
+	// The failure may surface through go list's compile attempt (the
+	// -export build) or through the loader's own type-check; either
+	// way it must name the package.
+	if !strings.Contains(msg, "loaderr/broken") {
+		t.Errorf("error does not name the broken package: %v", msg)
+	}
+	// Both independent errors in the fixture must be present.
+	if !strings.Contains(msg, "cannot use") || !strings.Contains(msg, "undefinedFunction") {
+		t.Errorf("error does not aggregate both type errors: %v", msg)
+	}
+}
+
+// TestMissingImportSurfacesListError: a root importing a nonexistent
+// package must produce the go list error for the missing path — the
+// export-data lookup can never succeed — as a diagnostic, not a panic.
+func TestMissingImportSurfacesListError(t *testing.T) {
+	_, err := loader.Load(moduleRoot(t), "./internal/lint/testdata/src/loaderr/missingdep")
+	if err == nil {
+		t.Fatal("want error for missing import, got nil")
+	}
+	if !strings.Contains(err.Error(), "loaderr/nonexistent") {
+		t.Errorf("error does not name the missing import: %v", err)
+	}
+}
+
+// TestMultipleBrokenRootsAllReported: one Load call over two broken
+// fixtures reports both — the aggregation contract that keeps CI from
+// peeling failures one run at a time.
+func TestMultipleBrokenRootsAllReported(t *testing.T) {
+	_, err := loader.Load(moduleRoot(t),
+		"./internal/lint/testdata/src/loaderr/broken",
+		"./internal/lint/testdata/src/loaderr/missingdep")
+	if err == nil {
+		t.Fatal("want error, got nil")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "loaderr/broken") {
+		t.Errorf("aggregate error missing the broken root: %v", msg)
+	}
+	if !strings.Contains(msg, "loaderr/nonexistent") {
+		t.Errorf("aggregate error missing the unresolvable import: %v", msg)
+	}
+}
+
+// TestHealthyMix: loading a broken root together with a healthy one
+// still fails (the healthy package must not mask the broken one).
+func TestHealthyMix(t *testing.T) {
+	pkgs, err := loader.Load(moduleRoot(t),
+		"./internal/lint/testdata/src/loaderr/clean",
+		"./internal/lint/testdata/src/loaderr/broken")
+	if err == nil {
+		t.Fatalf("want error from broken root, got %d packages", len(pkgs))
+	}
+}
+
+// TestColdBuildCache points GOCACHE at an empty directory: go list
+// -export must rebuild export data from scratch and Load must still
+// succeed for a dependency-free package. Guarded by -short because the
+// cold rebuild does real compiler work.
+func TestColdBuildCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold-cache rebuild in -short mode")
+	}
+	t.Setenv("GOCACHE", t.TempDir())
+	pkgs, err := loader.Load(moduleRoot(t), "./internal/lint/testdata/src/loaderr/clean")
+	if err != nil {
+		t.Fatalf("cold-cache load failed: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Name != "clean" {
+		t.Fatalf("unexpected packages: %+v", pkgs)
+	}
+}
+
+// TestParallelLoadDeterministic: repeated loads of the same pattern
+// set return identical package orderings (path-sorted) even though
+// type-checking is parallel, and each package carries its own FileSet.
+func TestParallelLoadDeterministic(t *testing.T) {
+	root := moduleRoot(t)
+	load := func() []string {
+		t.Helper()
+		pkgs, err := loader.Load(root, "./internal/lint/...")
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		var paths []string
+		seenFsets := make(map[interface{}]string)
+		for _, p := range pkgs {
+			paths = append(paths, p.Path)
+			if prev, dup := seenFsets[p.Fset]; dup {
+				t.Fatalf("packages %s and %s share a FileSet", prev, p.Path)
+			}
+			seenFsets[p.Fset] = p.Path
+		}
+		return paths
+	}
+	a := load()
+	b := load()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("orders differ:\n%v\n%v", a, b)
+	}
+}

@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"geofootprint/internal/lint/analysis"
+	"geofootprint/internal/lint/cfg"
+	"geofootprint/internal/lint/dataflow"
+)
+
+// LockBalance is the flow-sensitive mutex-discipline analyzer.
+//
+// internal/server and internal/store use sync.Mutex/RWMutex around the
+// publish path and the columnar builders; the bug class this analyzer
+// pins is the early-return leg that skips the Unlock — the process
+// does not crash, it wedges: the next Lock blocks forever and every
+// request behind it queues. The secondary class is side confusion on
+// an RWMutex: Unlock after RLock (panics at runtime, but only on the
+// rarely-taken path that testing missed).
+//
+// The contract, per function: every sync Lock/RLock must reach its
+// matching Unlock/RUnlock on every returning path (directly, by defer,
+// or inside a deferred closure); a mutex must not be re-Locked while
+// the same function still holds it (self-deadlock — sync.Mutex is not
+// reentrant); and the release must match the acquire side. Lock-
+// helper functions that intentionally return holding the lock (the
+// `foo()` / `fooLocked()` pairing) are the false-positive escape
+// hatch: suppress with //lint:ignore lockbalance and the pairing
+// convention as the reason.
+//
+// Unlock without a visible Lock in the same function is deliberately
+// NOT reported: `xLocked()` helpers that run under a caller's lock are
+// idiomatic here, and an intraprocedural analyzer cannot see the
+// caller. Double-RLock is likewise not reported — read locks are
+// shared — although it can still deadlock against a waiting writer;
+// that is a throughput review question, not a machine-checkable one.
+var LockBalance = &analysis.Analyzer{
+	Name: "lockbalance",
+	Doc:  "sync mutex Lock/Unlock (and RLock/RUnlock) must balance on every returning path",
+	Run:  runLockBalance,
+}
+
+// lockKey identifies one guarded mutex within a function: the receiver
+// expression's source form plus which side (read/write) is held.
+// Keying by source text (types.ExprString) intentionally treats
+// `s.mu` in two statements as the same lock and `a.mu`/`b.mu` as
+// different ones — the same approximation a reviewer makes.
+type lockKey struct {
+	expr string
+	read bool
+}
+
+// lockFact maps held locks to the position of the Lock call that
+// acquired them (for reporting). Immutable; mutations copy.
+type lockFact map[lockKey]token.Pos
+
+func (f lockFact) with(k lockKey, pos token.Pos) lockFact {
+	out := make(lockFact, len(f)+1)
+	for kk, v := range f {
+		out[kk] = v
+	}
+	out[k] = pos
+	return out
+}
+
+func (f lockFact) without(k lockKey) lockFact {
+	if _, ok := f[k]; !ok {
+		return f
+	}
+	out := make(lockFact, len(f))
+	for kk, v := range f {
+		if kk != k {
+			out[kk] = v
+		}
+	}
+	return out
+}
+
+func lockJoin(a, b lockFact) lockFact {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(lockFact, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		// Keep the earlier Lock position for deterministic reports when
+		// two paths acquired the same key.
+		if cur, ok := out[k]; !ok || v < cur {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func lockEqual(a, b lockFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+type lockEngine struct {
+	pass *analysis.Pass
+	seen map[string]bool
+}
+
+func runLockBalance(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body != nil {
+				e := &lockEngine{pass: pass, seen: make(map[string]bool)}
+				e.run(body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func (e *lockEngine) run(body *ast.BlockStmt) {
+	g := cfg.New(body, cfg.MayReturn(e.pass.TypesInfo))
+	p := dataflow.Problem[lockFact]{
+		Entry:    nil,
+		Join:     lockJoin,
+		Equal:    lockEqual,
+		Transfer: e.transfer,
+	}
+	r := dataflow.Forward(g, p)
+	exit, ok := r.ExitFact(p)
+	if !ok {
+		return
+	}
+	for k, pos := range exit {
+		side := "Lock"
+		if k.read {
+			side = "RLock"
+		}
+		e.reportOnce(pos, "%s.%s() is not released on every path", k.expr, side)
+	}
+}
+
+func (e *lockEngine) reportOnce(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := e.pass.Fset.Position(pos).String() + "\x00" + msg
+	if e.seen[key] {
+		return
+	}
+	e.seen[key] = true
+	e.pass.Report(analysis.Diagnostic{Pos: pos, Message: msg})
+}
+
+func (e *lockEngine) transfer(n ast.Node, f lockFact) lockFact {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+			return e.lockCall(call, f, false)
+		}
+	case *ast.DeferStmt:
+		return e.deferred(n.Call, f)
+	}
+	return f
+}
+
+// deferred applies `defer mu.Unlock()` (and unlocks inside a deferred
+// closure) as an immediate discharge: from this point on, every exit
+// runs it.
+func (e *lockEngine) deferred(call *ast.CallExpr, f lockFact) lockFact {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok {
+				f = e.lockCall(inner, f, true)
+			}
+			return true
+		})
+		return f
+	}
+	return e.lockCall(call, f, true)
+}
+
+// lockCall interprets one call if it is a sync lock operation.
+// deferred marks calls applied through defer: a deferred Lock is
+// nonsensical and ignored; a deferred unlock discharges silently even
+// when the side cannot be matched (the fact may not have caught up in
+// an early fixpoint iteration).
+func (e *lockEngine) lockCall(call *ast.CallExpr, f lockFact, deferred bool) lockFact {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return f
+	}
+	fn, _ := e.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return f
+	}
+	recv := types.ExprString(ast.Unparen(sel.X))
+	wKey := lockKey{expr: recv, read: false}
+	rKey := lockKey{expr: recv, read: true}
+
+	switch fn.Name() {
+	case "Lock":
+		if deferred {
+			return f
+		}
+		if _, held := f[wKey]; held {
+			e.reportOnce(call.Pos(), "%s.Lock() while already held (sync.Mutex is not reentrant)", recv)
+			return f
+		}
+		return f.with(wKey, call.Pos())
+	case "RLock":
+		if deferred {
+			return f
+		}
+		// Double-RLock is legal (shared); keep the first position.
+		if _, held := f[rKey]; held {
+			return f
+		}
+		return f.with(rKey, call.Pos())
+	case "Unlock":
+		if _, held := f[wKey]; held {
+			return f.without(wKey)
+		}
+		if _, held := f[rKey]; held && !deferred {
+			e.reportOnce(call.Pos(), "%s.Unlock() but %s is read-locked (want RUnlock)", recv, recv)
+			return f.without(rKey)
+		}
+		return f
+	case "RUnlock":
+		if _, held := f[rKey]; held {
+			return f.without(rKey)
+		}
+		if _, held := f[wKey]; held && !deferred {
+			e.reportOnce(call.Pos(), "%s.RUnlock() but %s is write-locked (want Unlock)", recv, recv)
+			return f.without(wKey)
+		}
+		return f
+	}
+	return f
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"geofootprint/internal/lint/analysis"
+)
+
+// PinLeak is the flow-sensitive epoch-pin leak analyzer.
+//
+// PR 6's MVCC store hands out read pins: EpochStore.Acquire returns a
+// *store.Epoch whose refcount keeps the whole epoch — its FootprintDB
+// and aux view — alive. A pin that is acquired but not Released on
+// some path permanently blocks epoch reclamation: every snapshot from
+// that point on is retained, memory grows without bound, and nothing
+// crashes — the race detector is silent because a leak is not a race.
+// The one incident class this analyzer exists for is the early-return
+// handler leg (`if err != nil { http.Error(...); return }`) that was
+// added after the Acquire but before the Release.
+//
+// The contract enforced on every function outside internal/store:
+// every call to an acquire-shaped callee (named Acquire, or a wrapper
+// whose name ends in Acquire, returning a *store.Epoch) must reach a
+// Release on every path that returns — directly, via `defer
+// ep.Release()`, or inside a deferred closure. Paths that panic or
+// os.Exit are exempt (defers run during unwinding; os.Exit forfeits
+// the process). Escapes discharge the local obligation: a pin that is
+// returned, stored into a struct, or passed to another function is
+// that code's responsibility, not this function's.
+//
+// Publish also returns a *Epoch but takes no pin — it is excluded by
+// the acquire-name rule, not by type.
+var PinLeak = &analysis.Analyzer{
+	Name: "pinleak",
+	Doc:  "epoch pins (store.Epoch Acquire) must be Released on every returning path",
+	Run:  runPinLeak,
+}
+
+var pinLeakSpec = &leakSpec{
+	skipPkg: func(pkg *types.Package) bool {
+		// The store package implements the pin protocol; its internal
+		// refcount plumbing is not subject to the caller-side contract.
+		return pathHasSegment(pkg.Path(), "store")
+	},
+	isResourceType: isEpochPointer,
+	isAcquire: func(info *types.Info, call *ast.CallExpr) bool {
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return false
+		}
+		name := fn.Name()
+		return strings.EqualFold(name, "acquire") || strings.HasSuffix(name, "Acquire")
+	},
+	releaseIdent: func(call *ast.CallExpr) (*ast.Ident, holderKind, bool) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Release" || len(call.Args) != 0 {
+			return nil, 0, false
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return nil, 0, false
+		}
+		return id, holderResource, true
+	},
+	discardMsg:   "epoch pin acquired and discarded: the pin can never be Released",
+	leakMsg:      "epoch pin is not Released on every path",
+	reacquireMsg: "epoch pin overwritten by a new Acquire before being Released",
+}
+
+func runPinLeak(pass *analysis.Pass) error {
+	return runLeakAnalyzer(pass, pinLeakSpec)
+}
+
+// isEpochPointer reports whether t is *store.Epoch: a pointer to a
+// named type Epoch whose defining package path has a "store" segment.
+func isEpochPointer(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Epoch" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pathHasSegment(pkg.Path(), "store")
+}

@@ -1,0 +1,151 @@
+// Package a is the bodyclose fixture: every *http.Response must have
+// its Body closed on every returning path. The error leg of the
+// `resp, err := Do(req); if err != nil` idiom is refined away (resp is
+// nil there by the net/http contract); escapes transfer the obligation
+// to the receiver.
+package a
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// LeakOnStatusCheck is the incident shape: the status-code early
+// return added between Do and the Close.
+func LeakOnStatusCheck(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req) // want `response body is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode) // leaks the body
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.Body.Close()
+}
+
+// Deferred is the idiom the serving plane uses: close immediately
+// after the error check, covering every later return.
+func Deferred(c *http.Client, req *http.Request) (int, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	return int(n), err
+}
+
+// DiscardedResponse never binds the response at all.
+func DiscardedResponse(url string) {
+	http.Get(url) // want `http response discarded without closing its body`
+}
+
+// BlankBound discards the response through the blank identifier.
+func BlankBound(url string) error {
+	_, err := http.Get(url) // want `http response discarded without closing its body`
+	return err
+}
+
+// BodyAlias closes through an alias of the body: same obligation.
+func BodyAlias(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	b := resp.Body
+	_, _ = io.Copy(io.Discard, b)
+	return b.Close()
+}
+
+// UnderscoreClose discharges via the checked-discard form.
+func UnderscoreClose(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	_ = resp.Body.Close()
+	return nil
+}
+
+// DeferredClosure closes inside a deferred function literal.
+func DeferredClosure(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = resp.Body.Close()
+	}()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// Escapes hands the open response to the caller, which owns the close.
+func Escapes(c *http.Client, req *http.Request) (*http.Response, error) {
+	return c.Do(req)
+}
+
+// EscapesVar binds then returns the open response.
+func EscapesVar(c *http.Client, req *http.Request) (*http.Response, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Reassigned overwrites a response whose body is still open.
+func Reassigned(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	resp, err = http.Get(url) // want `response overwritten by a new request before its body was closed`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// PerCaseClose mirrors cmd/geofeed's switch: each reachable case
+// closes (or dead-ends) explicitly.
+func PerCaseClose(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		_ = resp.Body.Close()
+		return nil
+	case http.StatusNotFound:
+		_ = resp.Body.Close()
+		return fmt.Errorf("not found")
+	default:
+		_ = resp.Body.Close()
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+// PanicLeg: a panicking path is not a leak; defers run during
+// unwinding and the CFG dead-ends the path.
+func PanicLeg(url string, strict bool) {
+	resp, err := http.Get(url)
+	if err != nil {
+		panic(err)
+	}
+	if strict && resp.StatusCode != http.StatusOK {
+		panic("bad status")
+	}
+	_ = resp.Body.Close()
+}
+
+// Suppressed: a justified ignore is honoured (a connection-starvation
+// probe leaks bodies on purpose).
+func Suppressed(url string) {
+	//lint:ignore bodyclose chaos probe leaks the body on purpose to starve the pool
+	resp, _ := http.Get(url)
+	_ = resp
+}

@@ -1,0 +1,13 @@
+// Package broken parses but does not type-check: the loader must
+// surface the type errors as a diagnostic, not panic, and keep them
+// alongside errors from other roots in the same Load call.
+package broken
+
+func Mismatched() int {
+	var x int = "definitely not an int"
+	return x
+}
+
+func AlsoBad() {
+	undefinedFunction(42)
+}

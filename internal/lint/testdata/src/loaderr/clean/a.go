@@ -1,0 +1,9 @@
+// Package clean is a dependency-free fixture used by the cold-cache
+// loader test: with GOCACHE pointed at an empty directory, go list
+// -export must rebuild export data from scratch and Load must still
+// succeed.
+package clean
+
+// Answer is deliberately trivial; the package exists to be loadable
+// with no imports at all.
+func Answer() int { return 42 }

@@ -1,0 +1,11 @@
+// Package missingdep imports a package that does not exist: go list
+// reports the broken import and the loader must aggregate that error
+// (and the resulting export-data miss) instead of dying on it or
+// panicking later.
+package missingdep
+
+import nowhere "geofootprint/internal/lint/testdata/src/loaderr/nonexistent"
+
+func Use() {
+	nowhere.Nothing()
+}

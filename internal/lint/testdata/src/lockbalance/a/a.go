@@ -1,0 +1,165 @@
+// Package a is the lockbalance fixture: sync Lock/RLock must reach a
+// side-matched Unlock/RUnlock on every returning path, and a mutex
+// must not be re-Locked while held. Unlock without a visible Lock is
+// deliberately unreported (the xLocked() helper convention).
+package a
+
+import (
+	"errors"
+	"sync"
+)
+
+type state struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// LeakOnEarlyReturn is the incident shape: the early-return leg added
+// inside the critical section skips the Unlock and the next caller
+// blocks forever.
+func (s *state) LeakOnEarlyReturn(bad bool) error {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) is not released on every path`
+	if bad {
+		return errors.New("early out") // still holding s.mu
+	}
+	s.n++
+	s.mu.Unlock()
+	return nil
+}
+
+// DeferredUnlock is the idiom: defer covers every return.
+func (s *state) DeferredUnlock(bad bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bad {
+		return errors.New("early out")
+	}
+	s.n++
+	return nil
+}
+
+// ExplicitBothPaths unlocks on each leg by hand.
+func (s *state) ExplicitBothPaths(fast bool) int {
+	s.mu.Lock()
+	if fast {
+		n := s.n
+		s.mu.Unlock()
+		return n
+	}
+	s.n++
+	s.mu.Unlock()
+	return s.n
+}
+
+// DoubleLock re-locks while held: sync.Mutex is not reentrant, this
+// self-deadlocks at runtime.
+func (s *state) DoubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s\.mu\.Lock\(\) while already held`
+	s.n++
+	s.mu.Unlock()
+}
+
+// SideMismatchUnlock releases a read lock with the writer-side call:
+// panics at runtime ("Unlock of unlocked RWMutex" under a reader).
+func (s *state) SideMismatchUnlock() int {
+	s.rw.RLock()
+	n := s.n
+	s.rw.Unlock() // want `s\.rw\.Unlock\(\) but s\.rw is read-locked \(want RUnlock\)`
+	return n
+}
+
+// SideMismatchRUnlock releases a write lock with the reader-side call.
+func (s *state) SideMismatchRUnlock() {
+	s.rw.Lock()
+	s.n++
+	s.rw.RUnlock() // want `s\.rw\.RUnlock\(\) but s\.rw is write-locked \(want Unlock\)`
+}
+
+// ReadPath balances the reader side.
+func (s *state) ReadPath() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+// RLeakOnBranch leaks the read side on one leg.
+func (s *state) RLeakOnBranch(bad bool) int {
+	s.rw.RLock() // want `s\.rw\.RLock\(\) is not released on every path`
+	if bad {
+		return -1
+	}
+	n := s.n
+	s.rw.RUnlock()
+	return n
+}
+
+// DeferredClosureUnlock releases inside a deferred function literal.
+func (s *state) DeferredClosureUnlock() {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+// embedded promotes sync.Mutex: s.Lock() resolves to (*sync.Mutex).Lock
+// and the discipline applies to the embedding receiver.
+type embedded struct {
+	sync.Mutex
+	n int
+}
+
+func (e *embedded) Balanced() {
+	e.Lock()
+	defer e.Unlock()
+	e.n++
+}
+
+func (e *embedded) Leaks(bad bool) error {
+	e.Lock() // want `e\.Lock\(\) is not released on every path`
+	if bad {
+		return errors.New("early out")
+	}
+	e.n++
+	e.Unlock()
+	return nil
+}
+
+// UnlockedHelper runs under the caller's lock: no Lock in sight, and
+// deliberately no finding — the xLocked() convention.
+func (s *state) bumpLocked() {
+	s.n++
+}
+
+// UnlockOnly is a split-phase helper that releases what its paired
+// helper acquired; intraprocedurally unmatched, deliberately quiet.
+func (s *state) UnlockOnly() {
+	s.mu.Unlock()
+}
+
+// PanicLeg: a panicking path is not an unlock leak; deferred unlocks
+// run during unwinding and the CFG dead-ends the path.
+func (s *state) PanicLeg(bad bool) {
+	s.mu.Lock()
+	if bad {
+		panic("invariant violated")
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// Suppressed: the lock-helper convention, justified.
+func (s *state) lockForCaller() {
+	//lint:ignore lockbalance split-phase helper; UnlockOnly is the paired release
+	s.mu.Lock()
+}
+
+// TwoMutexes keeps distinct receivers distinct.
+func TwoMutexes(a, b *sync.Mutex) {
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}

@@ -1,0 +1,178 @@
+// Package a is the pinleak fixture: an epoch pin from Acquire must
+// reach Release on every returning path. Positive cases leak on one
+// leg; negative cases release directly, by defer, via nil-check
+// refinement or by escaping the pin to a caller; one suppressed case
+// carries its justification.
+package a
+
+import (
+	"errors"
+
+	"geofootprint/internal/store"
+)
+
+// LeakOnEarlyReturn is the incident shape: the error leg added after
+// the Acquire returns without releasing the pin.
+func LeakOnEarlyReturn(es *store.EpochStore, bad bool) error {
+	ep := es.Acquire() // want `epoch pin is not Released on every path`
+	if bad {
+		return errors.New("early out") // leaks ep
+	}
+	ep.Release()
+	return nil
+}
+
+// Discarded never binds the pin at all: it can never be Released.
+func Discarded(es *store.EpochStore) {
+	es.Acquire() // want `epoch pin acquired and discarded`
+}
+
+// BlankBound discards through the blank identifier.
+func BlankBound(es *store.EpochStore) {
+	_ = es.Acquire() // want `epoch pin acquired and discarded`
+}
+
+// Reacquired overwrites a live pin: the first epoch can no longer be
+// released through ep.
+func Reacquired(es *store.EpochStore) {
+	ep := es.Acquire()
+	ep = es.Acquire() // want `epoch pin overwritten by a new Acquire before being Released`
+	ep.Release()
+}
+
+// StraightLine releases on the only path.
+func StraightLine(es *store.EpochStore) uint64 {
+	ep := es.Acquire()
+	seq := ep.Seq()
+	ep.Release()
+	return seq
+}
+
+// Deferred releases by defer: every later return is covered.
+func Deferred(es *store.EpochStore, bad bool) error {
+	ep := es.Acquire()
+	defer ep.Release()
+	if bad {
+		return errors.New("early out")
+	}
+	return nil
+}
+
+// DeferredClosure releases inside a deferred function literal.
+func DeferredClosure(es *store.EpochStore) {
+	ep := es.Acquire()
+	defer func() {
+		ep.Release()
+	}()
+	_ = ep.DB()
+}
+
+// NilChecked: before the first Publish, Acquire returns nil. On the
+// nil leg there is no pin to release.
+func NilChecked(es *store.EpochStore) *store.FootprintDB {
+	ep := es.Acquire()
+	if ep == nil {
+		return nil
+	}
+	defer ep.Release()
+	return ep.DB()
+}
+
+// BothBranchesRelease covers each leg explicitly.
+func BothBranchesRelease(es *store.EpochStore, fast bool) uint64 {
+	ep := es.Acquire()
+	if fast {
+		seq := ep.Seq()
+		ep.Release()
+		return seq
+	}
+	ep.Release()
+	return 0
+}
+
+// Escapes hands the pin to the caller: releasing it is the caller's
+// contract, not this function's.
+func Escapes(es *store.EpochStore) *store.Epoch {
+	return es.Acquire()
+}
+
+// EscapesVar binds then returns the pin.
+func EscapesVar(es *store.EpochStore) *store.Epoch {
+	ep := es.Acquire()
+	return ep
+}
+
+// holder retains a pin across calls; storing the pin in a struct is an
+// escape (released elsewhere by the holder's own discipline).
+type holder struct {
+	ep *store.Epoch
+}
+
+func (h *holder) Pin(es *store.EpochStore) {
+	ep := es.Acquire()
+	h.ep = ep
+}
+
+// WrapperAcquire is an acquire-shaped helper (name ends in Acquire):
+// its own body escapes the pin via return, and its caller owns the
+// obligation.
+func WrapperAcquire(es *store.EpochStore) (*store.Epoch, error) {
+	ep := es.Acquire()
+	if ep == nil {
+		return nil, errors.New("no epoch published")
+	}
+	return ep, nil
+}
+
+// ErrPaired: the error leg of an acquire wrapper means no pin was
+// taken; branch refinement keeps it quiet.
+func ErrPaired(es *store.EpochStore) uint64 {
+	ep, err := WrapperAcquire(es)
+	if err != nil {
+		return 0
+	}
+	defer ep.Release()
+	return ep.Seq()
+}
+
+// Published: Publish returns a *store.Epoch but takes no pin — it must
+// not create an obligation (the serving plane publishes under a lock
+// and never releases the returned handle).
+func Published(es *store.EpochStore, db *store.FootprintDB) uint64 {
+	ep := es.Publish(db, nil)
+	return ep.Seq()
+}
+
+// PanicPath: a panicking leg is not a leak — deferred releases run
+// during unwinding and the analyzer's CFG dead-ends the path.
+func PanicPath(es *store.EpochStore, bad bool) {
+	ep := es.Acquire()
+	if bad {
+		panic("invariant violated")
+	}
+	ep.Release()
+}
+
+// Suppressed: a justified ignore is honoured (a benchmark fixture that
+// holds a pin for the process lifetime on purpose).
+func Suppressed(es *store.EpochStore) {
+	//lint:ignore pinleak benchmark holds the pin for the process lifetime on purpose
+	ep := es.Acquire()
+	_ = ep
+}
+
+// LoopRelease acquires and releases per iteration.
+func LoopRelease(es *store.EpochStore, n int) {
+	for i := 0; i < n; i++ {
+		ep := es.Acquire()
+		ep.Release()
+	}
+}
+
+// LoopLeak leaks one pin per iteration.
+func LoopLeak(es *store.EpochStore, n int) {
+	for i := 0; i < n; i++ {
+		ep := es.Acquire() // want `epoch pin is not Released on every path`
+		_ = ep.Seq()
+	}
+}

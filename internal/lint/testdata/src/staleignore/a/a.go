@@ -1,0 +1,37 @@
+// Package a is the staleignore fixture: the driver must flag
+// //lint:ignore directives that suppress nothing after a full suite
+// run, and directives that name an analyzer that does not exist, while
+// leaving live suppressions alone.
+package a
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// LiveSuppression: the directive suppresses a real lockbalance
+// finding (the helper intentionally returns holding the lock), so it
+// must NOT be reported as stale.
+func (g *guarded) LiveSuppression() {
+	//lint:ignore lockbalance split-phase helper returns holding the lock by design
+	g.mu.Lock()
+}
+
+// StaleSuppression: nothing on this or the next line produces a
+// lockbalance diagnostic — the Unlock is balanced — so the directive
+// is dead weight and must be flagged.
+func (g *guarded) StaleSuppression() {
+	//lint:ignore lockbalance leftover from a refactor that removed the early return
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// TypoSuppression names an analyzer that does not exist: it can never
+// suppress anything and silently lies about doing so.
+func (g *guarded) TypoSuppression() int {
+	//lint:ignore lockbalanec typo in the analyzer name
+	return g.n
+}

@@ -162,7 +162,7 @@ func (ix *RoIIndex) TopKBatchCtx(ctx context.Context, q core.Footprint, k int) (
 			if !e.Rect.Intersects(qmbr) {
 				continue
 			}
-			//lint:ignore ctxcancel bounded by len(q) per entry; the enclosing entry loop polls
+			// Bounded by len(q) per entry; the enclosing entry loop polls.
 			for j := range qs {
 				if qs[j].Rect.MinX > e.Rect.MaxX {
 					break

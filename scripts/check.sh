@@ -27,10 +27,20 @@ go vet -copylocks ./internal/store/... ./internal/wal/... ./internal/ingest/... 
 # (dropped Sync/Close/WAL errors), ctxcancel (loops in
 # //geo:cancellable functions that never poll ctx), epochmut
 # (mutation of epoch-published databases outside the internal/store
-# builder seam). Any finding fails the gate; suppressions need an
-# inline justification.
+# builder seam), plus the flow-sensitive suite: pinleak (epoch pins
+# Released on every path), bodyclose (*http.Response bodies closed on
+# every path), lockbalance (mutex Lock/Unlock balanced per path), and
+# staleignore (//lint:ignore directives that suppress nothing). Any
+# finding fails the gate; suppressions need an inline justification.
 echo "== geolint ./... =="
 go run ./cmd/geolint ./...
+
+# Baseline discipline on top of the binary gate: geolint -json output
+# must exactly match the committed lint_baseline.json (kept empty —
+# the tree is lint-clean). New findings fail; entries that disappeared
+# fail too, forcing a baseline refresh so it never drifts.
+echo "== lintstats: geolint -json vs lint_baseline.json =="
+./scripts/lintstats.sh
 
 echo "== go build ./... =="
 go build ./...

@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# lintstats.sh — diff `geolint -json` output against the committed
+# baseline (lint_baseline.json).
+#
+# The baseline is the agreed-upon set of outstanding findings (kept
+# empty in this repo: the tree is geolint-clean). The diff is
+# two-sided:
+#
+#   - a finding NOT in the baseline is NEW and fails the gate — fix it
+#     or suppress it with a justified //lint:ignore;
+#   - a baseline entry that no longer appears was FIXED and also fails
+#     the gate, telling you to refresh the baseline so it never drifts
+#     from reality: run `scripts/lintstats.sh -refresh` and commit.
+#
+# Comparison is by sorted whole-line equality of the JSON objects,
+# which works because geolint emits findings deterministically sorted
+# with module-relative paths.
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE=lint_baseline.json
+CURRENT=$(mktemp)
+trap 'rm -f "$CURRENT" "$CURRENT.sorted" "$BASELINE.sorted"' EXIT
+
+# Exit 1 (findings) is expected when a baseline entry covers them;
+# only exit 2 (load error) is fatal here.
+go run ./cmd/geolint -json ./... >"$CURRENT" || {
+	status=$?
+	if [ "$status" -eq 2 ]; then
+		echo "lintstats: geolint failed to load packages (exit 2)" >&2
+		exit 2
+	fi
+}
+
+if [ "${1:-}" = "-refresh" ]; then
+	cp "$CURRENT" "$BASELINE"
+	echo "lintstats: baseline refreshed ($(wc -l <"$BASELINE" | tr -d ' ') finding(s))"
+	exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+	echo "lintstats: missing $BASELINE (run scripts/lintstats.sh -refresh to create it)" >&2
+	exit 2
+fi
+
+sort "$CURRENT" >"$CURRENT.sorted"
+sort "$BASELINE" >"$BASELINE.sorted"
+
+new=$(comm -23 "$CURRENT.sorted" "$BASELINE.sorted" || true)
+fixed=$(comm -13 "$CURRENT.sorted" "$BASELINE.sorted" || true)
+
+fail=0
+if [ -n "$new" ]; then
+	echo "lintstats: NEW findings not in baseline:" >&2
+	printf '%s\n' "$new" >&2
+	fail=1
+fi
+if [ -n "$fixed" ]; then
+	echo "lintstats: baseline entries no longer reported (fixed — refresh the baseline with scripts/lintstats.sh -refresh):" >&2
+	printf '%s\n' "$fixed" >&2
+	fail=1
+fi
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "lintstats: findings match baseline ($(wc -l <"$BASELINE" | tr -d ' ') entr(y/ies))"
