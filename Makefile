@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check test lint lintstats race chaos cluster-test bench-fig3a bench-sketch bench-ingest bench-qps bench-restart bench-scatter benchdiff clean
+.PHONY: check test lint lintstats race chaos cluster-test cluster-chaos bench-fig3a bench-sketch bench-ingest bench-qps bench-restart bench-scatter bench-failover benchdiff clean
 
 check:
 	./scripts/check.sh
@@ -52,6 +52,19 @@ chaos:
 cluster-test:
 	$(GO) test -race -count=1 -run 'TestCluster|TestCoordinator' ./internal/router/ ./cmd/georouter/
 
+# Network-chaos suite for the replicated serving plane: the full
+# netfault and breaker unit suites, then the chaos matrix (every fault
+# schedule × R ∈ {1,2,3} over 4 loopback shards — byte-identical or
+# explicit partial naming the lost ring segments, never silently
+# wrong), all-methods failover with one shard down, stale-replica /
+# hinted-handoff / seq-regression tracking, and segment-restricted
+# shard queries. Run under -race: fan-out legs, breaker tokens and
+# hint queues are all concurrent.
+cluster-chaos:
+	$(GO) test -race -count=1 ./internal/netfault/ ./internal/breaker/
+	$(GO) test -race -count=1 -run 'Chaos|Failover|Breaker|Stale|Replica|Segment' \
+		./internal/router/ ./internal/server/ ./internal/hashring/
+
 # Regenerate the committed BENCH_fig3a.json evidence (serial vs
 # parallel batched top-k at geobench scale 0.05).
 bench-fig3a:
@@ -85,6 +98,13 @@ bench-restart:
 # verified bit-identical to LinearScan on the union store).
 bench-scatter:
 	$(GO) run ./cmd/geobench -exp scatter -scale 0.05 -json .
+
+# Regenerate the committed BENCH_failover.json evidence (router top-k
+# over 4 shards with shard-1 killed and restarted by fault injection,
+# R=1 vs R=2: throughput, complete-vs-partial counts, failed-over leg
+# totals, every answer verified exact over its claimed coverage).
+bench-failover:
+	$(GO) run ./cmd/geobench -exp failover -scale 0.05 -json .
 
 # Compare two BENCH_<exp>.json reports; fails on >15% wall-clock
 # regression of any method. Usage:

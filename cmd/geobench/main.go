@@ -47,7 +47,7 @@ func main() {
 	log.SetPrefix("geobench: ")
 
 	exp := flag.String("exp", "all",
-		"experiment: table1, table2, table3, table4, fig3a, fig3b, sketch, ingest, qps, restart, scatter, mbr-sensitivity, tuning, weighted, grid, cluster-methods, scale-sweep, k-sensitivity or all")
+		"experiment: table1, table2, table3, table4, fig3a, fig3b, sketch, ingest, qps, restart, scatter, failover, mbr-sensitivity, tuning, weighted, grid, cluster-methods, scale-sweep, k-sensitivity or all")
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's user counts (1.0 = full size)")
 	partsFlag := flag.String("parts", "A,B,C,D", "comma-separated parts to run")
 	queries := flag.Int("queries", 50, "query users for table3 (paper: 200)")
@@ -377,6 +377,33 @@ func main() {
 		}
 		fmt.Println()
 		emit("scatter", rows)
+	}
+
+	// The failover benchmark prices replication: 4 ring-split shards,
+	// one killed and restarted by deterministic fault injection, at
+	// R=1 vs R=2 — throughput plus answer quality (complete vs partial,
+	// every answer verified exact over the corpus it claims to cover).
+	// Spins servers per phase, so it only runs when requested.
+	if *exp == "failover" {
+		fmt.Printf("== Failover: router top-%d over 4 shards, shard-1 killed/restarted, R=1 vs R=2 (%d queries) ==\n",
+			*k, *fig3aQueries)
+		fmt.Printf("%-5s %3s %-10s %12s %12s %9s %9s %11s %6s\n",
+			"part", "R", "phase", "queries/s", "mean (µs)", "complete", "partial", "failed-over", "exact")
+		var rows []bench.FailoverRow
+		for _, p := range parts {
+			rs, err := bench.FailoverBench(get(p), *fig3aQueries, *k, 0, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, r := range rs {
+				fmt.Printf("%-5s %3d %-10s %12.0f %12.1f %9d %9d %11d %6v\n",
+					r.Part, r.Replicas, r.Phase, r.QueriesPerSec, r.MeanMicros,
+					r.Complete, r.Partials, r.FailedOver, r.Exact)
+			}
+			rows = append(rows, rs...)
+		}
+		fmt.Println()
+		emit("failover", rows)
 	}
 
 	if *exp == "cluster-methods" {

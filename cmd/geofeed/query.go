@@ -67,7 +67,10 @@ func query(args []string) {
 	type envelope struct {
 		Results []result `json:"results"`
 		Partial bool     `json:"partial"`
-		Missing []string `json:"missing"`
+		// Missing names lost ring segments: bare shard IDs when the
+		// router runs unreplicated, "+"-joined replica tuples otherwise.
+		Missing    []string `json:"missing"`
+		FailedOver int      `json:"failed_over"`
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
@@ -77,9 +80,9 @@ func query(args []string) {
 	bo := retry.New(50*time.Millisecond, 2*time.Second, rand.New(rand.NewSource(*seed+1)))
 	const maxAttempts = 10
 	var (
-		answered, partials, results int
-		missing                     = map[string]int{}
-		totalLatency                time.Duration
+		answered, partials, results, failedOver int
+		missing                                 = map[string]int{}
+		totalLatency                            time.Duration
 	)
 	start := time.Now()
 	for qn := 0; qn < *queries; qn++ {
@@ -127,6 +130,10 @@ func query(args []string) {
 							if err := dec.Decode(&env.Missing); err != nil {
 								log.Fatalf("top-k: decoding missing: %v", err)
 							}
+						case "failed_over":
+							if err := dec.Decode(&env.FailedOver); err != nil {
+								log.Fatalf("top-k: decoding failed_over: %v", err)
+							}
 						default:
 							var skip json.RawMessage
 							if err := dec.Decode(&skip); err != nil {
@@ -139,6 +146,7 @@ func query(args []string) {
 				totalLatency += time.Since(t0)
 				answered++
 				results += len(env.Results)
+				failedOver += env.FailedOver
 				if env.Partial {
 					partials++
 					for _, id := range env.Missing {
@@ -176,15 +184,18 @@ func query(args []string) {
 	fmt.Printf("answered %d/%d queries in %.1fs (%.0f queries/s, mean %.1f ms, %d results)\n",
 		answered, *queries, elapsed, float64(answered)/elapsed,
 		totalLatency.Seconds()*1e3/float64(answered), results)
+	if failedOver > 0 {
+		fmt.Printf("%d fan-out legs failed over to a replica\n", failedOver)
+	}
 	if partials > 0 {
 		ids := make([]string, 0, len(missing))
 		for id := range missing {
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)
-		fmt.Printf("%d partial responses:\n", partials)
+		fmt.Printf("%d partial responses (lost ring segments):\n", partials)
 		for _, id := range ids {
-			fmt.Printf("  %s missing from %d responses\n", id, missing[id])
+			fmt.Printf("  segment %s missing from %d responses\n", id, missing[id])
 		}
 	} else {
 		fmt.Println("no partial responses: every answer covered the full cluster")

@@ -41,7 +41,11 @@ func (c *coordinator) handleHealth(w http.ResponseWriter, req *http.Request) {
 	shards := c.r.Shards()
 	status := "ok"
 	for _, h := range shards {
-		if h.State != router.StateOK && h.State != router.StateUnknown {
+		// Stale replicas and open breakers degrade the cluster view even
+		// though reads route around them: an operator should see a shard
+		// being carried by its siblings before the siblings die too.
+		if (h.State != router.StateOK && h.State != router.StateUnknown) ||
+			h.Stale || h.Breaker == "open" {
 			status = "degraded"
 			break
 		}
@@ -62,6 +66,9 @@ type topkEnvelope struct {
 	Missing []string          `json:"missing,omitempty"`
 	Queried int               `json:"queried"`
 	Epochs  map[string]uint64 `json:"epochs,omitempty"`
+	// FailedOver counts fan-out legs rescued by a later replica —
+	// nonzero means replication is actively papering over a failure.
+	FailedOver int `json:"failed_over,omitempty"`
 }
 
 // resultJSON matches the shard's per-result wire form, so a client
@@ -97,11 +104,12 @@ func (c *coordinator) handleTopK(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	env := topkEnvelope{
-		Results: make([]resultJSON, len(res.Results)),
-		Partial: res.Partial,
-		Missing: res.Missing,
-		Queried: res.Queried,
-		Epochs:  res.Epochs,
+		Results:    make([]resultJSON, len(res.Results)),
+		Partial:    res.Partial,
+		Missing:    res.Missing,
+		Queried:    res.Queried,
+		Epochs:     res.Epochs,
+		FailedOver: res.FailedOver,
 	}
 	for i, r := range res.Results {
 		env.Results[i] = resultJSON{ID: r.ID, Similarity: r.Score}

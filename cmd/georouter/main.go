@@ -19,13 +19,26 @@
 //	POST /v1/ingest  NDJSON samples, routed to owners by user ID; 202
 //	                 means every owning shard's WAL has its slice
 //
-// The router polls each shard's /healthz on -health-interval and
-// degrades explicitly: sealed, draining, unreachable or misconfigured
-// shards are skipped and every affected query answers partial:true
-// with the missing shard IDs — never silently wrong. Shard requests
-// get a per-attempt deadline (-shard-timeout), bounded retries with
-// Retry-After-aware backoff (-retries, -retry-base, -retry-cap), and
-// a per-shard admission gate (-max-inflight-per-shard).
+// The router polls each shard's /healthz on -health-interval (with
+// decorrelated jitter, so a fleet of routers never probes in phase)
+// and degrades explicitly: sealed, draining, unreachable, stale or
+// misconfigured shards are skipped and every affected query answers
+// partial:true with the missing ring-segment IDs — never silently
+// wrong. Shard requests get a per-attempt deadline (-shard-timeout),
+// bounded retries with Retry-After-aware backoff (-retries,
+// -retry-base, -retry-cap), a per-shard admission gate
+// (-max-inflight-per-shard), and a per-shard circuit breaker
+// (-breaker-window, -breaker-threshold, -breaker-min-samples,
+// -breaker-open-for; -no-breaker disables).
+//
+// With -replicas R > 1 every user lives on R consecutive ring shards:
+// ingest replicates each sub-batch to all R owners (durable once ONE
+// acks; replicas that missed a batch are marked stale, excluded from
+// reads, and healed by background hint redelivery bounded by
+// -max-hint-bytes), and top-k fans each ring segment to its first
+// in-sync replica, failing over down the replica set on error,
+// timeout, staleness, or an open breaker — so any single shard can
+// die without partial answers.
 package main
 
 import (
@@ -37,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"geofootprint/internal/breaker"
 	"geofootprint/internal/hashring"
 	"geofootprint/internal/router"
 )
@@ -54,6 +68,13 @@ func main() {
 	retryCap := flag.Duration("retry-cap", time.Second, "backoff cap between shard retries")
 	maxInflight := flag.Int("max-inflight-per-shard", 64, "admission gate: concurrent in-flight requests per shard (0: unlimited)")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "deadline for one whole /v1/topk fan-out (0: none)")
+	replicas := flag.Int("replicas", 1, "replication factor: ring shards holding each user (clamped to shard count)")
+	maxHintBytes := flag.Int("max-hint-bytes", 1<<20, "per-replica budget for queued missed-ingest batches (0: default, negative: disable hinting)")
+	noBreaker := flag.Bool("no-breaker", false, "disable per-shard circuit breakers")
+	brkWindow := flag.Int("breaker-window", 16, "circuit breaker: sliding outcome window length")
+	brkThreshold := flag.Float64("breaker-threshold", 0.5, "circuit breaker: failure fraction over the window that trips it")
+	brkMinSamples := flag.Int("breaker-min-samples", 4, "circuit breaker: outcomes required before the threshold is consulted")
+	brkOpenFor := flag.Duration("breaker-open-for", 2*time.Second, "circuit breaker: open period before the half-open probe")
 	readTimeout := flag.Duration("read-timeout", defaultReadTimeout, "max duration for reading an entire request")
 	readHeaderTimeout := flag.Duration("read-header-timeout", defaultReadHeaderTimeout, "max duration for reading request headers")
 	writeTimeout := flag.Duration("write-timeout", defaultWriteTimeout, "max duration for writing a response")
@@ -81,6 +102,15 @@ func main() {
 		RetryCap:            *retryCap,
 		MaxInflightPerShard: gate,
 		HealthInterval:      *healthEvery,
+		Replicas:            *replicas,
+		MaxHintBytes:        *maxHintBytes,
+		DisableBreaker:      *noBreaker,
+		Breaker: breaker.Config{
+			Window:     *brkWindow,
+			Threshold:  *brkThreshold,
+			MinSamples: *brkMinSamples,
+			OpenFor:    *brkOpenFor,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -89,7 +119,7 @@ func main() {
 	for _, h := range r.Shards() {
 		log.Printf("shard %s at %s: %s (epoch %d, %d users)", h.ID, h.Addr, h.State, h.Epoch, h.Users)
 	}
-	log.Printf("routing %d shards; listening on %s", len(r.Shards()), *addr)
+	log.Printf("routing %d shards (replication factor %d); listening on %s", len(r.Shards()), *replicas, *addr)
 
 	c := &coordinator{r: r, queryTimeout: *queryTimeout, logger: log.Default()}
 	httpSrv := newHTTPServer(httpOptions{

@@ -24,6 +24,13 @@
 // -stats-interval logs the epoch/cache counters that /healthz and
 // /v1/ingest/stats expose.
 //
+// As a cluster shard behind georouter, /v1/query additionally accepts
+// a segment restriction (the replica tuple whose users this sub-query
+// covers — see internal/server segment.go), and /healthz reports
+// ingest_seq, the last applied WAL LSN, which the router compares
+// against its acked high-water mark to detect replicas that restarted
+// onto an older snapshot.
+//
 // Endpoints: see internal/server. Quick check:
 //
 //	curl localhost:8080/healthz

@@ -1,0 +1,53 @@
+package bench
+
+import "testing"
+
+// Tiny end-to-end run of the failover experiment: three phases per
+// replication factor, every answer verified exact over its claimed
+// coverage, and the replication payoff visible in the counters — R=1
+// answers partial through the outage, R=2 stays complete.
+func TestFailoverBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke is not short")
+	}
+	w, err := NewWorkload("A", 0.002, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := FailoverBench(w, 20, 5, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 phases x R in {1,2})", len(rows))
+	}
+	byKey := map[string]FailoverRow{}
+	for _, r := range rows {
+		if !r.Exact {
+			t.Errorf("R=%d %s: answers not exact over claimed coverage", r.Replicas, r.Phase)
+		}
+		if r.QueriesPerSec <= 0 || r.MeanMicros <= 0 || r.Partials+r.Complete != r.Queries {
+			t.Errorf("degenerate row: %+v", r)
+		}
+		byKey[r.Phase+"/"+itoa(r.Replicas)] = r
+	}
+	for _, R := range []int{1, 2} {
+		for _, phase := range []string{"healthy", "restarted"} {
+			if r := byKey[phase+"/"+itoa(R)]; r.Partials != 0 {
+				t.Errorf("R=%d %s: %d partial answers on a healthy cluster", R, phase, r.Partials)
+			}
+		}
+	}
+	if r := byKey["one-down/1"]; r.Partials == 0 {
+		t.Errorf("R=1 one-down: expected partial answers, got none: %+v", r)
+	}
+	if r := byKey["one-down/2"]; r.Partials != 0 {
+		t.Errorf("R=2 one-down: %d partial answers despite replication", r.Partials)
+	} else if r.FailedOver == 0 {
+		t.Errorf("R=2 one-down: complete answers but zero failed-over legs: %+v", r)
+	}
+}
+
+func itoa(n int) string {
+	return string(rune('0' + n))
+}

@@ -233,12 +233,149 @@ func hashUser(user int) uint64 {
 // OwnerIndex returns the index (into Shards()) of the shard owning
 // user: the first virtual node clockwise from the user's hash.
 func (r *Ring) OwnerIndex(user int) int {
+	return r.points[r.pointOf(user)].shard
+}
+
+// pointOf locates the first virtual node clockwise from user's hash.
+func (r *Ring) pointOf(user int) int {
 	h := hashUser(user)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0 // wrap past the highest point
 	}
-	return r.points[i].shard
+	return i
+}
+
+// clampR bounds a replication factor to [1, N]: replication can never
+// place more copies than there are shards.
+func (r *Ring) clampR(R int) int {
+	if R < 1 {
+		return 1
+	}
+	if R > len(r.shards) {
+		return len(r.shards)
+	}
+	return R
+}
+
+// successorWalk collects the first R distinct shards clockwise from
+// point p — the ring's natural successor walk. The walk is a pure
+// function of the shard IDs (which fully determine the points), so
+// replica placement survives re-addressing exactly like ownership
+// does, and an offline splitter and a live router agree on every
+// user's replica set.
+func (r *Ring) successorWalk(p, R int) []int {
+	out := make([]int, 0, R)
+	seen := 0 // bitmask would cap shards; a small linear scan is fine
+	for i := 0; seen < R && i < len(r.points); i++ {
+		s := r.points[(p+i)%len(r.points)].shard
+		dup := false
+		for _, have := range out {
+			if have == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s)
+			seen++
+		}
+	}
+	return out
+}
+
+// ReplicaIndices returns the ordered replica set for user under
+// replication factor R: the owning shard first, then the next R-1
+// distinct shards clockwise from the user's ring position. R is
+// clamped to [1, N]. ReplicaIndices(u, 1)[0] == OwnerIndex(u) always.
+//
+// Because the walk starts at the user's successor point, re-running it
+// with a larger R only appends shards — growing the replication factor
+// never moves an existing copy.
+func (r *Ring) ReplicaIndices(user, R int) []int {
+	return r.successorWalk(r.pointOf(user), r.clampR(R))
+}
+
+// Replicas returns the ordered replica shards for user.
+func (r *Ring) Replicas(user, R int) []Shard {
+	idx := r.ReplicaIndices(user, R)
+	out := make([]Shard, len(idx))
+	for i, s := range idx {
+		out[i] = r.shards[s]
+	}
+	return out
+}
+
+// Segments enumerates the distinct ordered replica tuples the ring
+// induces under replication factor R: every user's ReplicaIndices is
+// one of the returned tuples, and every returned tuple is the walk of
+// at least one ring arc. The router fans one sub-query per segment to
+// the segment's first in-sync replica; a shard filters scoring to the
+// users whose own walk equals the segment's tuple, so two shards can
+// never both answer for the same user.
+//
+// The result is deterministic: tuples are sorted lexicographically by
+// shard index. Its size is bounded by the number of distinct successor
+// patterns among the ring's arcs — for single-digit shard counts, a
+// handful of tuples, not N^R.
+func (r *Ring) Segments(R int) [][]int {
+	R = r.clampR(R)
+	seen := make(map[string][]int)
+	for p := range r.points {
+		w := r.successorWalk(p, R)
+		seen[tupleKey(w)] = w
+	}
+	out := make([][]int, 0, len(seen))
+	for _, w := range seen {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// tupleKey is a map key for an ordered shard-index tuple.
+func tupleKey(idx []int) string {
+	var b []byte
+	for _, s := range idx {
+		b = strconv.AppendInt(b, int64(s), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// SegmentID names a replica tuple for wire formats and partial-result
+// reporting: the member shard IDs joined with "+", owner first. With
+// R=1 this is exactly the owning shard's ID, so single-replica
+// deployments keep the PR 8 "missing shard" vocabulary unchanged.
+func (r *Ring) SegmentID(tuple []int) string {
+	var b []byte
+	for i, s := range tuple {
+		if i > 0 {
+			b = append(b, '+')
+		}
+		b = append(b, r.shards[s].ID...)
+	}
+	return string(b)
+}
+
+// RingFromIDs builds a ring from bare shard IDs with synthetic
+// addresses. Shard-side segment filtering needs only identity — the
+// assignment function never looks at addresses — so a geoserve shard
+// can reconstruct the router's ring from the ID list a query carries.
+func RingFromIDs(ids []string, replicas int) (*Ring, error) {
+	m := &Map{Version: MapVersion, Replicas: replicas}
+	for i, id := range ids {
+		m.Shards = append(m.Shards, Shard{ID: id, Addr: "ring://" + strconv.Itoa(i)})
+	}
+	return NewRing(m)
 }
 
 // Owner returns the shard owning user.

@@ -161,3 +161,113 @@ func TestMapFileRoundTrip(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+// Replica sets are the successor walk: the owner comes first, members
+// are distinct, R is clamped to [1, N], and growing R only appends —
+// it never moves an existing copy.
+func TestReplicaIndices(t *testing.T) {
+	r, err := NewRing(testMap(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 20000; u++ {
+		prev := []int{}
+		for R := 1; R <= 6; R++ {
+			got := r.ReplicaIndices(u, R)
+			wantLen := R
+			if wantLen > 4 {
+				wantLen = 4
+			}
+			if len(got) != wantLen {
+				t.Fatalf("user %d R=%d: %d replicas, want %d", u, R, len(got), wantLen)
+			}
+			if got[0] != r.OwnerIndex(u) {
+				t.Fatalf("user %d R=%d: first replica %d != owner %d", u, R, got[0], r.OwnerIndex(u))
+			}
+			seen := map[int]bool{}
+			for _, s := range got {
+				if seen[s] {
+					t.Fatalf("user %d R=%d: duplicate replica %d in %v", u, R, s, got)
+				}
+				seen[s] = true
+			}
+			for i := range prev {
+				if prev[i] != got[i] {
+					t.Fatalf("user %d: growing R moved replica %d: %v -> %v", u, i, prev, got)
+				}
+			}
+			prev = got
+		}
+	}
+	if got := r.ReplicaIndices(7, 0); len(got) != 1 {
+		t.Fatalf("R=0 not clamped to 1: %v", got)
+	}
+}
+
+// Replica placement, like ownership, is a pure function of the shard
+// IDs: two rings over the same IDs agree on every replica set, and a
+// ring rebuilt from bare IDs (the shard-side path) matches the
+// router's addressed ring.
+func TestReplicaDeterministic(t *testing.T) {
+	r1, err := NewRing(testMap(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 5)
+	for i, s := range r1.Shards() {
+		ids[i] = s.ID
+	}
+	r2, err := RingFromIDs(ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 10000; u++ {
+		a := r1.ReplicaIndices(u, 3)
+		b := r2.ReplicaIndices(u, 3)
+		if len(a) != len(b) {
+			t.Fatalf("user %d: replica sets differ: %v vs %v", u, a, b)
+		}
+		for i := range a {
+			if r1.Shards()[a[i]].ID != r2.Shards()[b[i]].ID {
+				t.Fatalf("user %d: replica %d differs across rings: %v vs %v", u, i, a, b)
+			}
+		}
+	}
+}
+
+// Segments covers the user space exactly: every user's replica tuple
+// is one of the enumerated segments, segment IDs are unique, and with
+// R=1 the segments are exactly the shard IDs (the PR 8 vocabulary).
+func TestSegmentsCoverUsers(t *testing.T) {
+	r, err := NewRing(testMap(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, R := range []int{1, 2, 3} {
+		segs := r.Segments(R)
+		byID := map[string]bool{}
+		for _, s := range segs {
+			id := r.SegmentID(s)
+			if byID[id] {
+				t.Fatalf("R=%d: duplicate segment id %q", R, id)
+			}
+			byID[id] = true
+		}
+		for u := 0; u < 20000; u++ {
+			key := r.SegmentID(r.ReplicaIndices(u, R))
+			if !byID[key] {
+				t.Fatalf("R=%d: user %d's tuple %q not enumerated in %d segments", R, u, key, len(segs))
+			}
+		}
+		if R == 1 {
+			if len(segs) != 4 {
+				t.Fatalf("R=1: %d segments, want 4 (one per shard)", len(segs))
+			}
+			for _, s := range segs {
+				if len(s) != 1 || r.SegmentID(s) != r.Shards()[s[0]].ID {
+					t.Fatalf("R=1 segment %v not a bare shard ID", s)
+				}
+			}
+		}
+	}
+}

@@ -149,3 +149,67 @@ func Suppressed(url string) {
 	resp, _ := http.Get(url)
 	_ = resp
 }
+
+// ProbeDrainClose is the router health-probe shape: a deferred
+// closure that drains a bounded prefix (for keep-alive reuse) through
+// a LimitReader alias, then closes. Both the wrap and the close are
+// on the same body; the obligation is discharged.
+func ProbeDrainClose(c *http.Client, req *http.Request) (int, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		_ = resp.Body.Close()
+	}()
+	return resp.StatusCode, nil
+}
+
+// RoundTripperRewrap is the netfault transport shape: a RoundTripper
+// swaps the body for a wrapper (which owns closing the inner reader)
+// and returns the response — the obligation escapes to the caller
+// with the response, exactly as with an untouched body.
+func RoundTripperRewrap(inner http.RoundTripper, req *http.Request) (*http.Response, error) {
+	resp, err := inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = io.NopCloser(io.LimitReader(resp.Body, 16))
+	return resp, nil
+}
+
+// RedeliveryLoopLeak is the hint-redelivery hazard shape: a per-item
+// request inside a loop where a later status check breaks out without
+// closing that iteration's body.
+func RedeliveryLoopLeak(c *http.Client, urls []string) error {
+	for _, u := range urls {
+		resp, err := c.Get(u) // want `response body is not closed on every path`
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			break // leaks this iteration's body
+		}
+		_ = resp.Body.Close()
+	}
+	return nil
+}
+
+// RedeliveryLoopClosed is the same loop with the close hoisted ahead
+// of the status decision — the shape replica redelivery actually uses.
+func RedeliveryLoopClosed(c *http.Client, urls []string) error {
+	for _, u := range urls {
+		resp, err := c.Get(u)
+		if err != nil {
+			return err
+		}
+		status := resp.StatusCode
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if status != http.StatusAccepted {
+			break
+		}
+	}
+	return nil
+}

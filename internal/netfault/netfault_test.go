@@ -1,0 +1,250 @@
+package netfault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startTarget serves a fixed JSON body and reports hit counts.
+func startTarget(t *testing.T, body string) (*httptest.Server, *int) {
+	t.Helper()
+	hits := new(int)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		*hits++
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, hits
+}
+
+func hostOf(t *testing.T, rawurl string) string {
+	t.Helper()
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+// Fail-Nth: exactly the Nth request errors with ErrInjected (visible
+// through the client's *url.Error wrap); its neighbours pass through.
+func TestFailRequestN(t *testing.T) {
+	srv, hits := startTarget(t, `{"ok":true}`)
+	ft := New(nil)
+	ft.Set(hostOf(t, srv.URL), Schedule{FailRequestN: 2})
+	client := &http.Client{Transport: ft}
+
+	for n := 1; n <= 3; n++ {
+		resp, err := client.Get(srv.URL)
+		if n == 2 {
+			if err == nil {
+				resp.Body.Close()
+				t.Fatalf("request %d: schedule did not fire", n)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("request %d: error %v does not unwrap to ErrInjected", n, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("request %d: %v", n, err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if *hits != 2 {
+		t.Fatalf("server saw %d requests, want 2 (the injected failure never reached the wire)", *hits)
+	}
+	fired := ft.Fired()
+	if len(fired) != 1 || !strings.HasSuffix(fired[0], ":fail-request") {
+		t.Fatalf("fired = %v, want one fail-request", fired)
+	}
+}
+
+// Fail-from-N: the target dies at request N and stays dead.
+func TestFailFromN(t *testing.T) {
+	srv, hits := startTarget(t, `{}`)
+	ft := New(nil)
+	ft.Set(hostOf(t, srv.URL), Schedule{FailFromN: 3})
+	client := &http.Client{Transport: ft}
+
+	for n := 1; n <= 6; n++ {
+		resp, err := client.Get(srv.URL)
+		if n < 3 {
+			if err != nil {
+				t.Fatalf("request %d: %v", n, err)
+			}
+			resp.Body.Close()
+			continue
+		}
+		if err == nil {
+			resp.Body.Close()
+			t.Fatalf("request %d: dead target answered", n)
+		}
+	}
+	if *hits != 2 {
+		t.Fatalf("server saw %d requests after death, want 2", *hits)
+	}
+}
+
+// Blackhole: after K completed requests, the next request hangs until
+// its context fires — and returns the context's cause wrapped in
+// ErrInjected.
+func TestBlackholeAfterK(t *testing.T) {
+	srv, _ := startTarget(t, `{}`)
+	ft := New(nil)
+	ft.Set(hostOf(t, srv.URL), Schedule{BlackholeAfterK: 1})
+	client := &http.Client{Transport: ft}
+
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err = client.Do(req)
+	if err == nil {
+		t.Fatal("blackholed request returned")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("blackhole error %v does not unwrap to ErrInjected", err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("blackhole returned after %v — did not wait for the context", d)
+	}
+}
+
+// Latency: the delay applies before forwarding, and a context firing
+// mid-delay aborts the request without touching the wire.
+func TestLatency(t *testing.T) {
+	srv, hits := startTarget(t, `{}`)
+	ft := New(nil)
+	ft.Set(hostOf(t, srv.URL), Schedule{Latency: 30 * time.Millisecond})
+	client := &http.Client{Transport: ft}
+
+	start := time.Now()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("request returned in %v, want >= 30ms", d)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	before := *hits
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("latency-delayed request beat a 5ms deadline")
+	}
+	if *hits != before {
+		t.Fatal("aborted request still reached the wire")
+	}
+}
+
+// Cut-body: headers arrive, the body is a strict prefix, and the
+// stream ends in ErrInjected — a decoder must error, never accept the
+// prefix as the value.
+func TestCutBody(t *testing.T) {
+	const body = `{"results":[1,2,3,4,5,6,7,8,9,10],"partial":false}`
+	srv, _ := startTarget(t, body)
+	ft := New(nil)
+	ft.Set(hostOf(t, srv.URL), Schedule{CutBodyN: 1})
+	client := &http.Client{Transport: ft}
+
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("cut body read to completion: %q", got)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("cut-body error %v does not unwrap to ErrInjected", err)
+	}
+	if len(got) >= len(body) {
+		t.Fatalf("cut body returned %d bytes of %d — not a strict prefix", len(got), len(body))
+	}
+}
+
+// Schedules are per target: a fault aimed at one host leaves another
+// untouched, and Clear restores passthrough.
+func TestPerTargetIsolation(t *testing.T) {
+	a, hitsA := startTarget(t, `{}`)
+	b, hitsB := startTarget(t, `{}`)
+	ft := New(nil)
+	ft.Set(hostOf(t, a.URL), Schedule{FailFromN: 1})
+	client := &http.Client{Transport: ft}
+
+	if _, err := client.Get(a.URL); err == nil {
+		t.Fatal("scheduled target answered")
+	}
+	resp, err := client.Get(b.URL)
+	if err != nil {
+		t.Fatalf("unscheduled target failed: %v", err)
+	}
+	resp.Body.Close()
+	if *hitsA != 0 || *hitsB != 1 {
+		t.Fatalf("hits = %d/%d, want 0/1", *hitsA, *hitsB)
+	}
+
+	ft.Clear(hostOf(t, a.URL))
+	resp, err = client.Get(a.URL)
+	if err != nil {
+		t.Fatalf("cleared target still failing: %v", err)
+	}
+	resp.Body.Close()
+	if *hitsA != 1 {
+		t.Fatalf("cleared target saw %d requests, want 1", *hitsA)
+	}
+}
+
+// Determinism: the same schedule over the same request sequence fires
+// the same faults in the same order — the property that makes a
+// schedule a reproducible coordinate in the chaos matrix.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []string {
+		srv, _ := startTarget(t, `{}`)
+		ft := New(nil)
+		host := hostOf(t, srv.URL)
+		ft.Set(host, Schedule{FailRequestN: 2, CutBodyN: 4, Latency: time.Millisecond, LatencyN: 3})
+		client := &http.Client{Transport: ft}
+		for n := 1; n <= 5; n++ {
+			resp, err := client.Get(srv.URL)
+			if err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		// Strip the ephemeral port so two runs compare.
+		fired := ft.Fired()
+		out := make([]string, len(fired))
+		for i, f := range fired {
+			out[i] = f[strings.LastIndex(f, ":"):]
+		}
+		return out
+	}
+	a, b := run(), run()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("two identical runs fired differently:\n%v\n%v", a, b)
+	}
+	want := []string{":fail-request", ":latency", ":cut-body"}
+	if strings.Join(a, ",") != strings.Join(want, ",") {
+		t.Fatalf("fired = %v, want %v", a, want)
+	}
+}

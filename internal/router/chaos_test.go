@@ -1,0 +1,613 @@
+package router
+
+// Network-chaos matrix: every netfault schedule, against every
+// replication factor, must yield an answer that is either
+// byte-identical to single-node LinearScan or an explicit
+// partial:true naming the lost ring segments — never silently wrong,
+// and never a poisoned breaker or acked-seq state afterwards.
+// `make cluster-chaos` pins this suite under -race.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"geofootprint/internal/breaker"
+	"geofootprint/internal/core"
+	"geofootprint/internal/engine"
+	"geofootprint/internal/hashring"
+	"geofootprint/internal/ingest"
+	"geofootprint/internal/netfault"
+	"geofootprint/internal/search"
+	"geofootprint/internal/server"
+	"geofootprint/internal/store"
+)
+
+// chaosCluster is a replicated in-process deployment with a
+// fault-injecting transport between the router and its shards.
+type chaosCluster struct {
+	router *Router
+	ring   *hashring.Ring
+	ft     *netfault.Transport
+	hosts  []string // URL.Host per shard index — netfault schedule keys
+	R      int
+}
+
+// startReplicatedCluster splits (ids, fps) across n real shard
+// servers by replica set — every shard holds each user whose replica
+// tuple contains it — and fronts them with a router at replication
+// factor R whose HTTP client runs through a netfault.Transport.
+func startReplicatedCluster(t *testing.T, n, R int, ids []int, fps []core.Footprint, mut func(*Config)) *chaosCluster {
+	t.Helper()
+	pre := &hashring.Map{Version: hashring.MapVersion}
+	for i := 0; i < n; i++ {
+		pre.Shards = append(pre.Shards, hashring.Shard{
+			ID: fmt.Sprintf("shard-%d", i), Addr: fmt.Sprintf("http://pre-%d", i),
+		})
+	}
+	ring, err := hashring.NewRing(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subIDs := make([][]int, n)
+	subFPs := make([][]core.Footprint, n)
+	for j, id := range ids {
+		for _, i := range ring.ReplicaIndices(id, R) {
+			subIDs[i] = append(subIDs[i], id)
+			subFPs[i] = append(subFPs[i], fps[j])
+		}
+	}
+
+	c := &chaosCluster{ring: ring, ft: netfault.New(nil), R: R}
+	live := &hashring.Map{Version: hashring.MapVersion}
+	for i := 0; i < n; i++ {
+		db, err := store.FromFootprints(fmt.Sprintf("shard-%d", i), subIDs[i], subFPs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.NewWithOptions(db, server.Options{ShardID: fmt.Sprintf("shard-%d", i)})
+		hs := httptest.NewServer(srv.Handler())
+		t.Cleanup(hs.Close)
+		u, err := url.Parse(hs.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.hosts = append(c.hosts, u.Host)
+		live.Shards = append(live.Shards, hashring.Shard{ID: fmt.Sprintf("shard-%d", i), Addr: hs.URL})
+	}
+	cfg := Config{
+		Map:            live,
+		Replicas:       R,
+		HealthInterval: -1,
+		RequestTimeout: 150 * time.Millisecond,
+		MaxAttempts:    2,
+		RetryBase:      time.Millisecond,
+		RetryCap:       5 * time.Millisecond,
+		Client:         &http.Client{Transport: c.ft},
+		Logger:         log.New(io.Discard, "", 0),
+		Breaker:        breaker.Config{Window: 4, MinSamples: 2, OpenFor: 50 * time.Millisecond},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c.router, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.router.Close)
+	c.router.CheckHealth(context.Background())
+	return c
+}
+
+// oracleFor builds the LinearScan oracle over the users NOT in the
+// lost segments — the exact corpus a correct partial answer covers.
+// It also verifies every missing entry names a real ring segment.
+func (c *chaosCluster) oracleFor(t *testing.T, ids []int, fps []core.Footprint, missing []string) *search.LinearScan {
+	t.Helper()
+	valid := map[string]bool{}
+	for _, tuple := range c.ring.Segments(c.R) {
+		valid[c.ring.SegmentID(tuple)] = true
+	}
+	lost := map[string]bool{}
+	for _, m := range missing {
+		if !valid[m] {
+			t.Fatalf("missing entry %q is not a ring segment (have %v)", m, valid)
+		}
+		lost[m] = true
+	}
+	var restIDs []int
+	var restFPs []core.Footprint
+	for j, id := range ids {
+		seg := c.ring.SegmentID(c.ring.ReplicaIndices(id, c.R))
+		if !lost[seg] {
+			restIDs = append(restIDs, id)
+			restFPs = append(restFPs, fps[j])
+		}
+	}
+	rest, err := store.FromFootprints("rest", restIDs, restFPs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return search.NewLinearScan(rest)
+}
+
+// TestClusterChaosMatrix drives every fault schedule against every
+// replication factor over 4 loopback shards. The invariant checked on
+// every cell: a complete answer is byte-identical to full LinearScan;
+// a partial answer names lost ring segments and is byte-identical to
+// LinearScan over the surviving segments' users. After the faults
+// clear, one health round plus one breaker period fully restores
+// exact complete answers — no poisoned breaker or seq state.
+func TestClusterChaosMatrix(t *testing.T) {
+	ids, fps := clusterCorpus(t)
+	union, err := store.FromFootprints("union", ids, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullOracle := search.NewLinearScan(union)
+	qf := parseRegions(t, testRegions)
+
+	// complete(R, qi) says whether query number qi (0-based) against
+	// replication factor R must come back complete; when false it may
+	// be partial, and either way it must be exact for what it covers.
+	cases := []struct {
+		name     string
+		sched    netfault.Schedule
+		complete func(R, qi int) bool
+	}{
+		// The 1st request fails, the in-call retry's 2nd succeeds: no
+		// failover needed, complete at every R.
+		{"fail-request-retried", netfault.Schedule{FailRequestN: 1},
+			func(R, qi int) bool { return true }},
+		// The shard is down and stays down: only replication saves the
+		// segments it leads.
+		{"fail-from-crash", netfault.Schedule{FailFromN: 1},
+			func(R, qi int) bool { return R >= 2 }},
+		// Every request to the shard exceeds the 150ms attempt
+		// deadline: same failure budget as a crash, paid in time.
+		{"latency-past-deadline", netfault.Schedule{Latency: 400 * time.Millisecond},
+			func(R, qi int) bool { return R >= 2 }},
+		// Partition after the first completed request: query 0 slips
+		// through, everything after hangs until the deadline.
+		{"blackhole-after-1", netfault.Schedule{BlackholeAfterK: 1},
+			func(R, qi int) bool { return R >= 2 || qi == 0 }},
+		// The 1st response body is truncated mid-stream: the decoder
+		// must fail loudly and the retry's clean body must win.
+		{"cut-body-retried", netfault.Schedule{CutBodyN: 1},
+			func(R, qi int) bool { return true }},
+	}
+
+	for _, R := range []int{1, 2, 3} {
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("R=%d/%s", R, tc.name), func(t *testing.T) {
+				c := startReplicatedCluster(t, 4, R, ids, fps, nil)
+				faulted := c.hosts[1] // shard-1 takes the fault
+				c.ft.Set(faulted, tc.sched)
+
+				for qi, k := range []int{5, 50} {
+					res, err := c.router.TopK(context.Background(), Query{
+						Regions: json.RawMessage(testRegions), K: k,
+					})
+					if err != nil {
+						t.Fatalf("q%d k=%d: %v", qi, k, err)
+					}
+					if tc.complete(R, qi) {
+						if res.Partial {
+							t.Fatalf("q%d k=%d: partial (missing %v) where the failure budget covers the fault", qi, k, res.Missing)
+						}
+						assertSame(t, fmt.Sprintf("q%d k=%d complete", qi, k), res.Results, fullOracle.TopK(qf, k))
+						continue
+					}
+					// Outside the budget: partial is allowed, silence is
+					// not — whatever answered must be exact and the gap
+					// must name real segments.
+					if res.Partial {
+						if len(res.Missing) == 0 {
+							t.Fatalf("q%d k=%d: partial with no missing segments", qi, k)
+						}
+						oracle := c.oracleFor(t, ids, fps, res.Missing)
+						assertSame(t, fmt.Sprintf("q%d k=%d partial", qi, k), res.Results, oracle.TopK(qf, k))
+					} else {
+						assertSame(t, fmt.Sprintf("q%d k=%d complete", qi, k), res.Results, fullOracle.TopK(qf, k))
+					}
+				}
+				if len(c.ft.Fired()) == 0 {
+					t.Fatalf("schedule %s never fired — the matrix cell tested nothing", tc.name)
+				}
+
+				// Recovery: clear the fault, one health round, one
+				// breaker period. The next answer must be complete and
+				// exact — a tripped breaker half-opens and heals, it
+				// does not stay poisoned.
+				c.ft.Clear(faulted)
+				c.router.CheckHealth(context.Background())
+				time.Sleep(60 * time.Millisecond) // > Breaker.OpenFor
+				res, err := c.router.TopK(context.Background(), Query{
+					Regions: json.RawMessage(testRegions), K: 50,
+				})
+				if err != nil {
+					t.Fatalf("recovery: %v", err)
+				}
+				if res.Partial {
+					t.Fatalf("recovery still partial: missing %v", res.Missing)
+				}
+				assertSame(t, "recovery k=50", res.Results, fullOracle.TopK(qf, 50))
+			})
+		}
+	}
+}
+
+// TestClusterFailoverAllMethods is the replication acceptance bar:
+// with R=2 over 4 shards and ANY single shard hard-down, all five
+// search methods at k ∈ {1,5,50} return complete answers
+// byte-identical to single-node LinearScan.
+func TestClusterFailoverAllMethods(t *testing.T) {
+	ids, fps := clusterCorpus(t)
+	union, err := store.FromFootprints("union", ids, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullOracle := search.NewLinearScan(union)
+	qf := parseRegions(t, testRegions)
+
+	for down := 0; down < 4; down++ {
+		t.Run(fmt.Sprintf("down=shard-%d", down), func(t *testing.T) {
+			c := startReplicatedCluster(t, 4, 2, ids, fps, nil)
+			c.ft.Set(c.hosts[down], netfault.Schedule{FailFromN: 1})
+			c.router.CheckHealth(context.Background()) // sees the crash
+
+			for _, method := range []string{"user-centric", "linear", "iterative", "batch", "sketch"} {
+				for _, k := range []int{1, 5, 50} {
+					res, err := c.router.TopK(context.Background(), Query{
+						Regions: json.RawMessage(testRegions), K: k, Method: method,
+					})
+					if err != nil {
+						t.Fatalf("%s k=%d: %v", method, k, err)
+					}
+					if res.Partial {
+						t.Fatalf("%s k=%d: partial (missing %v) with R=2 and one shard down", method, k, res.Missing)
+					}
+					assertSame(t, fmt.Sprintf("%s k=%d", method, k), res.Results, fullOracle.TopK(qf, k))
+				}
+			}
+		})
+	}
+}
+
+// fakeReplicaShards builds two programmable fake shards for the
+// stale-tracking and breaker tests: healthz reports a settable
+// ingest_seq, ingest acks from a per-shard LSN counter unless failing
+// is set, and query counts hits.
+type fakeReplicaShard struct {
+	id         string
+	healthSeq  atomic.Uint64 // ingest_seq reported by /healthz
+	lsn        atomic.Uint64 // LSN counter for ingest acks
+	failIngest atomic.Bool
+	failQuery  atomic.Bool
+	queryHits  atomic.Int64
+	ingestHits atomic.Int64
+}
+
+func startFakeReplicaPair(t *testing.T, mut func(*Config)) (*Router, [2]*fakeReplicaShard) {
+	t.Helper()
+	m := &hashring.Map{Version: hashring.MapVersion}
+	var fakes [2]*fakeReplicaShard
+	for i := 0; i < 2; i++ {
+		f := &fakeReplicaShard{id: fmt.Sprintf("shard-%d", i)}
+		fakes[i] = f
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			json.NewEncoder(w).Encode(map[string]interface{}{
+				"status": "ok", "shard_id": f.id, "epoch_seq": 1,
+				"ingest_seq": f.healthSeq.Load(),
+			})
+		})
+		mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+			f.ingestHits.Add(1)
+			if f.failIngest.Load() {
+				http.Error(w, "injected ingest failure", http.StatusServiceUnavailable)
+				return
+			}
+			samples, err := ingest.ParseNDJSON(r.Body, 10000)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			lsn := f.lsn.Add(1)
+			f.healthSeq.Store(lsn)
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(map[string]interface{}{"lsn": lsn, "samples": len(samples)})
+		})
+		mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+			f.queryHits.Add(1)
+			if f.failQuery.Load() {
+				http.Error(w, "injected query failure", http.StatusInternalServerError)
+				return
+			}
+			io.WriteString(w, "[]")
+		})
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		m.Shards = append(m.Shards, hashring.Shard{ID: f.id, Addr: srv.URL})
+	}
+	cfg := Config{
+		Map:            m,
+		Replicas:       2,
+		HealthInterval: -1,
+		RequestTimeout: time.Second,
+		MaxAttempts:    1,
+		RetryBase:      time.Millisecond,
+		RetryCap:       5 * time.Millisecond,
+		Logger:         quietLogger(),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	r.CheckHealth(context.Background())
+	return r, fakes
+}
+
+func chaosSamples(n int) []ingest.Sample {
+	var out []ingest.Sample
+	for u := 1; u <= n; u++ {
+		out = append(out, ingest.Sample{User: u, X: 0.1, Y: 0.2, T: float64(u)})
+	}
+	return out
+}
+
+func staleShards(r *Router) []string {
+	var out []string
+	for _, h := range r.Shards() {
+		if h.Stale {
+			out = append(out, h.ID)
+		}
+	}
+	return out
+}
+
+// TestClusterChaosStaleReplica pins the acked-seq / hinted-handoff
+// machinery end to end: a replica that misses an acked write is
+// excluded from reads (not an error), hint redelivery heals it, and a
+// seq regression on /healthz re-marks it stale until it catches up.
+func TestClusterChaosStaleReplica(t *testing.T) {
+	r, fakes := startFakeReplicaPair(t, nil)
+
+	// Phase 1: shard-1 misses writes a sibling acked. The batch is
+	// durable, so this is a success with hinting, not an error.
+	fakes[1].failIngest.Store(true)
+	res, err := r.RouteIngest(context.Background(), chaosSamples(40))
+	if err != nil {
+		t.Fatalf("partial replica failure must not fail the batch: %v", err)
+	}
+	if len(res.Hinted) != 1 || res.Hinted[0] != "shard-1" {
+		t.Fatalf("hinted = %v, want [shard-1]", res.Hinted)
+	}
+	if _, acked := res.Shards["shard-0"]; !acked {
+		t.Fatalf("durable sibling missing from acks: %v", res.Shards)
+	}
+	if got := staleShards(r); len(got) != 1 || got[0] != "shard-1" {
+		t.Fatalf("stale shards = %v, want [shard-1]", got)
+	}
+
+	// Reads exclude the stale replica: every segment fails over to
+	// shard-0, no partials, zero queries reach shard-1.
+	before := fakes[1].queryHits.Load()
+	qres, err := r.TopK(context.Background(), testQuery(5))
+	if err != nil || qres.Partial {
+		t.Fatalf("failover around stale replica: res=%+v err=%v", qres, err)
+	}
+	if fakes[1].queryHits.Load() != before {
+		t.Fatal("a query reached the stale replica")
+	}
+
+	// Phase 2: redelivery drains the hints and clears the staleness.
+	fakes[1].failIngest.Store(false)
+	if n := r.RedeliverHints(context.Background()); n == 0 {
+		t.Fatal("no hints redelivered")
+	}
+	if got := staleShards(r); len(got) != 0 {
+		t.Fatalf("stale after redelivery: %v", got)
+	}
+	before = fakes[1].queryHits.Load()
+	if _, err := r.TopK(context.Background(), testQuery(5)); err != nil {
+		t.Fatal(err)
+	}
+	if fakes[1].queryHits.Load() == before {
+		t.Fatal("healed replica still excluded from reads")
+	}
+
+	// Phase 3: the shard restarts onto an older snapshot — /healthz
+	// reports a lower ingest_seq than the LSNs it acked. Stale again,
+	// and reads skip it, until the seq catches back up.
+	goodSeq := fakes[1].healthSeq.Load()
+	fakes[1].healthSeq.Store(0)
+	r.CheckHealth(context.Background())
+	if got := staleShards(r); len(got) != 1 || got[0] != "shard-1" {
+		t.Fatalf("seq regression not detected: stale=%v", got)
+	}
+	before = fakes[1].queryHits.Load()
+	if qres, err = r.TopK(context.Background(), testQuery(5)); err != nil || qres.Partial {
+		t.Fatalf("failover around regressed replica: res=%+v err=%v", qres, err)
+	}
+	if fakes[1].queryHits.Load() != before {
+		t.Fatal("a query reached the regressed replica")
+	}
+	fakes[1].healthSeq.Store(goodSeq)
+	r.CheckHealth(context.Background())
+	if got := staleShards(r); len(got) != 0 {
+		t.Fatalf("stale after seq caught up: %v", got)
+	}
+}
+
+// TestClusterChaosIngestAllReplicasDown: a sub-batch no replica can
+// make durable is an explicit *IngestError — replication widens the
+// failure budget, it never silently drops writes.
+func TestClusterChaosIngestAllReplicasDown(t *testing.T) {
+	r, fakes := startFakeReplicaPair(t, nil)
+	fakes[0].failIngest.Store(true)
+	fakes[1].failIngest.Store(true)
+	_, err := r.RouteIngest(context.Background(), chaosSamples(10))
+	ierr, ok := err.(*IngestError)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *IngestError", err, err)
+	}
+	if len(ierr.Failed) == 0 {
+		t.Fatalf("no failed shards named: %+v", ierr)
+	}
+}
+
+// TestClusterChaosBreakerOneRTT pins the breaker's cost model: a
+// still-dead shard is paid for exactly MinSamples times, then every
+// later query skips it instantly and fails over — complete answers
+// throughout, no per-query timeout burn.
+func TestClusterChaosBreakerOneRTT(t *testing.T) {
+	r, fakes := startFakeReplicaPair(t, func(c *Config) {
+		c.Breaker = breaker.Config{Window: 4, MinSamples: 2, OpenFor: time.Hour}
+	})
+	fakes[1].failQuery.Store(true)
+
+	for qi := 0; qi < 10; qi++ {
+		res, err := r.TopK(context.Background(), testQuery(5))
+		if err != nil || res.Partial {
+			t.Fatalf("q%d: failover must keep answers complete: res=%+v err=%v", qi, res, err)
+		}
+	}
+	// MinSamples=2 failures trip the breaker; with OpenFor an hour no
+	// half-open probe fires, so the dead shard saw exactly 2 queries.
+	if hits := fakes[1].queryHits.Load(); hits != 2 {
+		t.Fatalf("dead shard absorbed %d queries, want exactly 2 (breaker did not clamp)", hits)
+	}
+	for _, h := range r.Shards() {
+		if h.ID == "shard-1" && h.Breaker != "open" {
+			t.Fatalf("shard-1 breaker = %q, want open", h.Breaker)
+		}
+	}
+}
+
+// TestMergeReplicaChaosIdempotent is the property test for the
+// duplicate-segment guard: merging the same ring segment from two
+// in-sync replicas must be idempotent. The guard drops the second
+// arrival; without it, engine.MergeParts (no ID dedup, by design)
+// would double-count every user in the segment.
+func TestMergeReplicaChaosIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		perm := rng.Perm(1000)[:n]
+		part := make([]search.Result, n)
+		for i, id := range perm {
+			part[i] = search.Result{ID: id, Score: rng.Float64()}
+		}
+		// Canonical shard answer order: score desc, ID asc.
+		sort.Slice(part, func(i, j int) bool {
+			if part[i].Score != part[j].Score {
+				return part[i].Score > part[j].Score
+			}
+			return part[i].ID < part[j].ID
+		})
+		replicaA := append([]search.Result(nil), part...)
+		replicaB := append([]search.Result(nil), part...)
+		k := 1 + rng.Intn(25)
+
+		g := newSegGather()
+		if !g.add("seg-0", replicaA) {
+			t.Fatal("first arrival refused")
+		}
+		if g.add("seg-0", replicaB) {
+			t.Fatal("duplicate segment accepted")
+		}
+		merged := engine.MergeParts(g.collect(), k)
+		want := engine.MergeParts([][]search.Result{part}, k)
+		if len(merged) != len(want) {
+			t.Fatalf("trial %d: guarded merge len %d != %d", trial, len(merged), len(want))
+		}
+		for i := range merged {
+			if merged[i] != want[i] {
+				t.Fatalf("trial %d: guarded merge diverged at %d: %+v != %+v", trial, i, merged[i], want[i])
+			}
+		}
+
+		// The hazard the guard prevents, demonstrated: an unguarded
+		// double-merge of the same segment duplicates the best user.
+		if k >= 2 {
+			unguarded := engine.MergeParts([][]search.Result{replicaA, replicaB}, k)
+			if len(unguarded) >= 2 && unguarded[0].ID != unguarded[1].ID {
+				t.Fatalf("trial %d: expected the unguarded merge to double-count (got %+v)", trial, unguarded[:2])
+			}
+		}
+	}
+}
+
+// TestClusterChaosDuplicateSegmentLogged: the router-side guard also
+// has to hold under real concurrency — two replicas answering the
+// same segment (a race the failover loop itself can't produce, but a
+// retried-then-healed network can) must merge to one copy.
+func TestClusterChaosDuplicateSegmentLogged(t *testing.T) {
+	g := newSegGather()
+	part := []search.Result{{ID: 1, Score: 0.9}, {ID: 2, Score: 0.5}}
+	done := make(chan bool, 2)
+	for i := 0; i < 2; i++ {
+		go func() { done <- g.add("seg", part) }()
+	}
+	a, b := <-done, <-done
+	if a == b {
+		t.Fatalf("concurrent adds both returned %v, want exactly one accepted", a)
+	}
+	merged := engine.MergeParts(g.collect(), 10)
+	if len(merged) != 2 {
+		t.Fatalf("merged %d results, want 2 (duplicate survived)", len(merged))
+	}
+}
+
+// TestClusterChaosPartialNamesSegments pins the wire vocabulary: with
+// R=2 and BOTH replicas of a segment down, the missing list names the
+// segment as "id+id" tuples, and a client summing user coverage can
+// tell exactly which users the answer excludes.
+func TestClusterChaosPartialNamesSegments(t *testing.T) {
+	ids, fps := clusterCorpus(t)
+	c := startReplicatedCluster(t, 4, 2, ids, fps, nil)
+	// Kill two shards: any segment whose tuple is a subset of the dead
+	// pair has no live replica left.
+	c.ft.Set(c.hosts[1], netfault.Schedule{FailFromN: 1})
+	c.ft.Set(c.hosts[2], netfault.Schedule{FailFromN: 1})
+	c.router.CheckHealth(context.Background())
+
+	res, err := c.router.TopK(context.Background(), Query{
+		Regions: json.RawMessage(testRegions), K: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || len(res.Missing) == 0 {
+		t.Fatalf("two dead shards with R=2: want explicit partial, got %+v", res)
+	}
+	for _, m := range res.Missing {
+		if !strings.Contains(m, "+") {
+			t.Fatalf("missing entry %q is not a replica-tuple segment ID", m)
+		}
+		for _, part := range strings.Split(m, "+") {
+			if part != "shard-1" && part != "shard-2" {
+				t.Fatalf("lost segment %q includes live shard %q", m, part)
+			}
+		}
+	}
+	qf := parseRegions(t, testRegions)
+	oracle := c.oracleFor(t, ids, fps, res.Missing)
+	assertSame(t, "two-dead partial", res.Results, oracle.TopK(qf, 50))
+}

@@ -18,8 +18,14 @@ import (
 type IngestResult struct {
 	// Samples is the total routed sample count.
 	Samples int `json:"samples"`
-	// Shards maps shard ID -> acknowledged LSN on that shard's WAL.
+	// Shards maps shard ID -> highest acknowledged LSN on that shard's
+	// WAL (with replication a shard may ack several sub-batches).
 	Shards map[string]uint64 `json:"shards"`
+	// Hinted names the replicas that missed a sub-batch a sibling
+	// acked: the batch is durable (hence no error), but these shards
+	// are stale for reads until the health loop redelivers their
+	// queued hints. Empty without replication.
+	Hinted []string `json:"hinted,omitempty"`
 }
 
 // IngestError is a routed-batch failure with enough structure for the
@@ -68,62 +74,131 @@ type ingestAckJSON struct {
 	Samples int    `json:"samples"`
 }
 
-// RouteIngest partitions samples by their ring owner and forwards one
-// NDJSON sub-batch to each owning shard, concurrently, with the full
-// client policy (deadline, retries, gate). Durability semantics are
-// per shard, exactly as on a single node: a shard's LSN in the result
-// means that shard's WAL holds its samples. On any leg failure the
-// error is an *IngestError naming both the failed and the already
-// acknowledged legs.
+// RouteIngest partitions samples by their replica set and forwards
+// one NDJSON sub-batch to every replica of each set, concurrently,
+// with the full client policy (deadline, retries, gate, breaker).
+//
+// Durability and failure semantics with replication factor R:
+//
+//   - A sub-batch is durable as soon as ONE replica acks it (its WAL
+//     holds the samples). Replicas that failed the same sub-batch are
+//     marked stale, the batch is queued as a hint against them
+//     (replica.go), and they are excluded from reads until the health
+//     loop redelivers — a partial replica failure is a success with
+//     hinting, not an error.
+//   - Only a sub-batch with ZERO acked replicas fails the call: the
+//     error is an *IngestError naming the failed shards and the legs
+//     that did ack (those samples ARE durable; a blind full retry
+//     re-ingests them).
+//
+// With R == 1 a replica set is just the owner, so this degrades to
+// the unreplicated behaviour exactly: any leg failure is an error.
 func (r *Router) RouteIngest(ctx context.Context, samples []ingest.Sample) (*IngestResult, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("%w: empty batch", ErrBadQuery)
 	}
-	// Partition by owner. Sample order within a shard's sub-batch
+	R := r.cfg.Replicas
+	// Partition by replica tuple. Sample order within a sub-batch
 	// preserves the client's order — the sessionizer depends on
 	// per-user time order, and per-user order survives a stable
-	// partition by user.
-	byShard := make(map[int][]ingest.Sample)
+	// partition by user (each user maps to exactly one tuple).
+	type group struct {
+		tuple   []int
+		samples []ingest.Sample
+	}
+	byTuple := make(map[string]*group)
 	for _, s := range samples {
-		i := r.ring.OwnerIndex(s.User)
-		byShard[i] = append(byShard[i], s)
+		tuple := r.ring.ReplicaIndices(s.User, R)
+		key := r.ring.SegmentID(tuple)
+		g := byTuple[key]
+		if g == nil {
+			g = &group{tuple: tuple}
+			byTuple[key] = g
+		}
+		g.samples = append(g.samples, s)
 	}
 
 	res := &IngestResult{Samples: len(samples), Shards: make(map[string]uint64)}
 	ierr := &IngestError{Failed: make(map[string]error), Acked: res.Shards}
+	hinted := make(map[string]bool)
 	var (
 		mu sync.Mutex
 		wg sync.WaitGroup
 	)
-	for i, sub := range byShard {
-		s := r.shards[i]
-		body := encodeNDJSON(sub)
+	for _, g := range byTuple {
+		body := encodeNDJSON(g.samples)
+		legErr := make([]error, len(g.tuple))
+		acked := make([]bool, len(g.tuple))
+		var legs sync.WaitGroup
+		for li, j := range g.tuple {
+			s := r.shards[j]
+			legs.Add(1)
+			wg.Add(1)
+			go func(li int, s *shard) {
+				defer legs.Done()
+				defer wg.Done()
+				var ack ingestAckJSON
+				err := r.callBrk(ctx, s,
+					func(ctx context.Context) (*http.Request, error) {
+						req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.addr+"/v1/ingest", bytes.NewReader(body))
+						if err != nil {
+							return nil, err
+						}
+						req.Header.Set("Content-Type", "application/x-ndjson")
+						return req, nil
+					},
+					func(_ int, rb io.Reader) error {
+						return decodeJSONBody(rb, &ack)
+					})
+				if err != nil {
+					legErr[li] = err
+					return
+				}
+				acked[li] = true
+				s.noteAck(ack.LSN)
+				mu.Lock()
+				if ack.LSN > res.Shards[s.id] {
+					res.Shards[s.id] = ack.LSN
+				}
+				mu.Unlock()
+			}(li, s)
+		}
+		// Settle the group once all its legs are done — in a goroutine
+		// so groups proceed concurrently with each other.
 		wg.Add(1)
-		go func(s *shard, body []byte) {
+		go func(g *group, body []byte, legErr []error, acked []bool, legs *sync.WaitGroup) {
 			defer wg.Done()
-			var ack ingestAckJSON
-			err := r.call(ctx, s,
-				func(ctx context.Context) (*http.Request, error) {
-					req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.addr+"/v1/ingest", bytes.NewReader(body))
-					if err != nil {
-						return nil, err
-					}
-					req.Header.Set("Content-Type", "application/x-ndjson")
-					return req, nil
-				},
-				func(_ int, rb io.Reader) error {
-					return decodeJSONBody(rb, &ack)
-				})
+			legs.Wait()
+			anyAck := false
+			for _, ok := range acked {
+				anyAck = anyAck || ok
+			}
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil {
-				ierr.Failed[s.id] = err
-				return
+			for li, j := range g.tuple {
+				if legErr[li] == nil {
+					continue
+				}
+				s := r.shards[j]
+				if anyAck {
+					// Durable on a sibling: hint the miss, stale the
+					// replica, no error.
+					s.noteMissed(body, r.cfg.MaxHintBytes, legErr[li])
+					hinted[s.id] = true
+					r.cfg.Logger.Printf("router: replica %s missed ingest batch (hinted): %v", s.id, legErr[li])
+					continue
+				}
+				if prev, dup := ierr.Failed[s.id]; !dup || prev == nil {
+					ierr.Failed[s.id] = legErr[li]
+				}
 			}
-			res.Shards[s.id] = ack.LSN
-		}(s, body)
+		}(g, body, legErr, acked, &legs)
 	}
 	wg.Wait()
+	for id := range hinted {
+		res.Hinted = append(res.Hinted, id)
+	}
+	sort.Strings(res.Hinted)
 	if len(ierr.Failed) > 0 {
 		return res, ierr
 	}

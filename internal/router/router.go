@@ -34,6 +34,7 @@ package router
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -43,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"geofootprint/internal/breaker"
 	"geofootprint/internal/hashring"
 	"geofootprint/internal/retry"
 )
@@ -76,6 +78,25 @@ type Config struct {
 	// Logger receives health transitions and fan-out failures; nil
 	// selects log.Default().
 	Logger *log.Logger
+	// Replicas is the replication factor R: every user is placed on R
+	// consecutive ring shards, ingest writes to all of them, and top-k
+	// reads fail over across them (replica.go). 0 selects 1 — no
+	// replication, the PR-8 behaviour. Values above the shard count
+	// clamp to it.
+	Replicas int
+	// Breaker parameterises the per-shard circuit breakers that skip
+	// known-dead shards without burning a timeout. The zero value
+	// selects the breaker package defaults.
+	Breaker breaker.Config
+	// DisableBreaker turns the circuit breakers off: every fan-out leg
+	// is attempted even against a shard that just failed.
+	DisableBreaker bool
+	// MaxHintBytes caps each shard's hinted-handoff queue — NDJSON
+	// sub-batches a replica missed while its siblings acked, held for
+	// redelivery by the health loop. 0 selects 1 MiB; < 0 disables
+	// hinting (a replica that misses a write stays stale until
+	// re-ingestion catches it up).
+	MaxHintBytes int
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +126,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.MaxHintBytes == 0 {
+		c.MaxHintBytes = 1 << 20
 	}
 	return c
 }
@@ -141,6 +168,14 @@ type ShardHealth struct {
 	Epoch  uint64 `json:"epoch,omitempty"` // epoch_seq from the shard's last good probe
 	Users  int    `json:"users,omitempty"`
 	Detail string `json:"detail,omitempty"` // error text for bad states
+	// IngestSeq is the shard's last durable WAL LSN (ingest_seq from
+	// its last good probe); Stale marks a replica excluded from reads
+	// because it missed acked writes or its seq regressed (replica.go).
+	IngestSeq uint64 `json:"ingest_seq,omitempty"`
+	Stale     bool   `json:"stale,omitempty"`
+	// Breaker is the shard's circuit-breaker state ("closed", "open",
+	// "half-open"), empty when breakers are disabled.
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // serving reports whether query fan-out may use the shard.
@@ -149,12 +184,25 @@ func (h ShardHealth) serving() bool {
 }
 
 // shard is the router's per-shard runtime state: identity, admission
-// gate, and the monitor's last verdict.
+// gate, the monitor's last verdict, the circuit breaker, and the
+// replica ingest-tracking state (replica.go).
 type shard struct {
 	id     string
 	addr   string
 	gate   chan struct{} // nil when the gate is disabled
 	health atomic.Value  // ShardHealth
+
+	brk *breaker.Breaker // nil when Config.DisableBreaker
+
+	// Replica state, guarded by rmu: the high-water mark of LSNs this
+	// shard acknowledged, the seq-regression flag from health probes,
+	// and the hinted-handoff queue of missed ingest sub-batches.
+	rmu       sync.Mutex
+	ackedSeq  uint64
+	regressed bool
+	staleWhy  string
+	hints     [][]byte
+	hintBytes int
 }
 
 func (s *shard) Health() ShardHealth { return s.health.Load().(ShardHealth) }
@@ -190,10 +238,16 @@ func New(cfg Config) (*Router, error) {
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	if n := len(ring.Shards()); r.cfg.Replicas > n {
+		r.cfg.Replicas = n
+	}
 	for _, s := range ring.Shards() {
 		sh := &shard{id: s.ID, addr: s.Addr}
 		if cfg.MaxInflightPerShard > 0 {
 			sh.gate = make(chan struct{}, cfg.MaxInflightPerShard)
+		}
+		if !cfg.DisableBreaker {
+			sh.brk = breaker.New(cfg.Breaker)
 		}
 		sh.health.Store(ShardHealth{ID: s.ID, Addr: s.Addr, State: StateUnknown})
 		r.shards = append(r.shards, sh)
@@ -217,10 +271,16 @@ func (r *Router) Close() {
 }
 
 // Shards returns the current health of every shard, in map order.
+// Stale and Breaker are sampled live (they can change between health
+// rounds, on every routed ingest or query).
 func (r *Router) Shards() []ShardHealth {
 	out := make([]ShardHealth, len(r.shards))
 	for i, s := range r.shards {
 		out[i] = s.Health()
+		_, out[i].Stale = s.syncState()
+		if s.brk != nil {
+			out[i].Breaker = s.brk.State().String()
+		}
 	}
 	return out
 }
@@ -230,7 +290,13 @@ func (r *Router) Ring() *hashring.Ring { return r.ring }
 
 func (r *Router) monitor() {
 	defer close(r.done)
-	t := time.NewTicker(r.cfg.HealthInterval)
+	// Probe intervals are jittered with the same decorrelated-jitter
+	// policy the retry path uses (internal/retry): a fleet of routers
+	// started together must not thunder-herd every shard's /healthz on
+	// one synchronized beat. Each round sleeps a uniform draw from
+	// [interval/2, 2*interval] instead of a fixed tick.
+	bo := retry.New(r.cfg.HealthInterval/2, 2*r.cfg.HealthInterval, nil)
+	t := time.NewTimer(bo.Next(""))
 	defer t.Stop()
 	for {
 		select {
@@ -239,7 +305,13 @@ func (r *Router) monitor() {
 		case <-t.C:
 			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.RequestTimeout)
 			r.CheckHealth(ctx)
+			// Hint redelivery piggybacks on the health beat: a replica
+			// that missed writes gets them replayed as soon as it is
+			// reachable again, and clears its stale flag when the queue
+			// drains.
+			r.RedeliverHints(ctx)
 			cancel()
+			t.Reset(bo.Next(""))
 		}
 	}
 }
@@ -247,10 +319,11 @@ func (r *Router) monitor() {
 // healthzJSON is the slice of the shard's /healthz body the router
 // reads. Unknown fields are ignored — the shard exposes much more.
 type healthzJSON struct {
-	Status   string `json:"status"`
-	ShardID  string `json:"shard_id"`
-	EpochSeq uint64 `json:"epoch_seq"`
-	Users    int    `json:"users"`
+	Status    string `json:"status"`
+	ShardID   string `json:"shard_id"`
+	EpochSeq  uint64 `json:"epoch_seq"`
+	IngestSeq uint64 `json:"ingest_seq"`
+	Users     int    `json:"users"`
 }
 
 // CheckHealth probes every shard's /healthz once, concurrently, and
@@ -304,6 +377,11 @@ func (r *Router) CheckHealth(ctx context.Context) {
 		if errs[i] == nil {
 			next.Epoch = bodies[i].EpochSeq
 			next.Users = bodies[i].Users
+			next.IngestSeq = bodies[i].IngestSeq
+			// A shard reporting a lower durable seq than the LSNs it
+			// already acknowledged lost writes (restarted onto an older
+			// snapshot): stale for reads until it catches back up.
+			s.noteProbeSeq(bodies[i].IngestSeq)
 		}
 		s.health.Store(next)
 		if next.State != prev.State {
@@ -315,6 +393,11 @@ func (r *Router) CheckHealth(ctx context.Context) {
 	}
 }
 
+// maxHealthzBody bounds how much of a /healthz response the router
+// will read: a misbehaving (or misrouted) endpoint streaming an
+// unbounded body must not pin router memory for a probe.
+const maxHealthzBody = 1 << 20
+
 func (r *Router) probe(ctx context.Context, s *shard) (healthzJSON, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.addr+"/healthz", nil)
 	if err != nil {
@@ -324,12 +407,20 @@ func (r *Router) probe(ctx context.Context, s *shard) (healthzJSON, error) {
 	if err != nil {
 		return healthzJSON{}, err
 	}
-	defer resp.Body.Close() // read-only response body
+	// Drain (bounded) then close on every exit path — including decode
+	// failures — so the keep-alive connection returns to the pool
+	// instead of being torn down under an unread body. Probes run every
+	// interval forever; leaking a connection per failed decode would
+	// bleed the pool dry.
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxHealthzBody))
+		_ = resp.Body.Close()
+	}()
 	if resp.StatusCode != http.StatusOK {
 		return healthzJSON{}, fmt.Errorf("healthz status %d", resp.StatusCode)
 	}
 	var h healthzJSON
-	if err := decodeJSONBody(resp.Body, &h); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxHealthzBody)).Decode(&h); err != nil {
 		return healthzJSON{}, fmt.Errorf("healthz body: %w", err)
 	}
 	return h, nil

@@ -30,20 +30,26 @@ type Query struct {
 // Results is byte-identical to the same query against a single node
 // holding the union of all shards' users (the cluster equivalence
 // suite proves this for all four methods). When Partial is true,
-// Missing names every shard that was skipped (unhealthy) or failed
-// (errors, deadline), and Results is exact over the remaining shards'
-// users — correct for the corpus that answered, with the gap named,
-// never silently wrong.
+// Missing names every ring segment that was lost — every replica
+// skipped (unhealthy, stale, breaker open) or failed (errors,
+// deadline) — and Results is exact over the segments that answered:
+// correct for the corpus that answered, with the gap named, never
+// silently wrong. With Replicas == 1 a segment ID is the bare shard
+// ID; with R > 1 it is the replica tuple joined with "+".
 type TopKResult struct {
 	Results []search.Result
 	Partial bool
 	Missing []string
-	// Queried is how many shards contributed results.
+	// Queried is how many ring segments contributed results.
 	Queried int
 	// Epochs records, per contributing shard, the epoch that was
 	// serving at its last health probe — observability for "which
 	// epoch answered", logged by the coordinator.
 	Epochs map[string]uint64
+	// FailedOver counts fan-out legs that failed but whose segment was
+	// rescued by a later replica — the replication payoff, surfaced
+	// for the failover bench.
+	FailedOver int
 }
 
 // shardResultJSON mirrors the shard's /v1/query response entry.
@@ -59,11 +65,37 @@ var (
 	ErrUnavailable = errors.New("no shard available")
 )
 
-// TopK scatter-gathers q to every serving shard and merges the
-// per-shard partial top-k lists with engine.MergeParts. The context
-// bounds the whole fan-out: legs that miss the deadline (including
-// waiting at a full admission gate) are reported missing rather than
-// stalling the merge.
+// wireSegment is the segment object forwarded to the shard's
+// /v1/query (mirrors the server's segmentJSON): the replica tuple
+// whose users the sub-query is restricted to, plus the shard-ID list
+// and vnode count the shard needs to rebuild the identical ring.
+type wireSegment struct {
+	Shards  []string `json:"shards"`
+	Vnodes  int      `json:"vnodes,omitempty"`
+	R       int      `json:"r"`
+	Members []string `json:"members"`
+}
+
+// wireQuery is the shard-bound query body: the client's query plus
+// the optional segment restriction.
+type wireQuery struct {
+	Regions json.RawMessage `json:"regions"`
+	K       int             `json:"k"`
+	Method  string          `json:"method,omitempty"`
+	Segment *wireSegment    `json:"segment,omitempty"`
+}
+
+// TopK scatter-gathers q across the ring's segments and merges the
+// per-segment partial top-k lists with engine.MergeParts. A segment
+// is one distinct replica tuple: its sub-query goes to the first
+// in-sync serving replica and fails over down the tuple on error,
+// timeout, staleness, or an open breaker. Each user belongs to
+// exactly one segment, and with R == 1 the segment field is omitted
+// entirely — the shard serves its whole corpus through its cached
+// method engines, the PR-8 fast path. The context bounds the whole
+// fan-out: legs that miss the deadline (including waiting at a full
+// admission gate) fail over, and a segment with no live replica is
+// reported missing rather than stalling the merge.
 func (r *Router) TopK(ctx context.Context, q Query) (*TopKResult, error) {
 	if q.K < 1 || q.K > 1000 {
 		return nil, fmt.Errorf("%w: k must be in [1,1000], got %d", ErrBadQuery, q.K)
@@ -71,73 +103,114 @@ func (r *Router) TopK(ctx context.Context, q Query) (*TopKResult, error) {
 	if len(q.Regions) == 0 {
 		return nil, fmt.Errorf("%w: query has no regions", ErrBadQuery)
 	}
-	body, err := json.Marshal(q) // regions pass through as raw bytes
-	if err != nil {
-		return nil, err
+	R := r.cfg.Replicas
+	segs := r.ring.Segments(R)
+	shardIDs := make([]string, len(r.shards))
+	for i, s := range r.shards {
+		shardIDs[i] = s.id
 	}
 
 	res := &TopKResult{Epochs: make(map[string]uint64)}
-	parts := make([][]search.Result, len(r.shards))
-	legErr := make([]error, len(r.shards))
-	skipped := make([]bool, len(r.shards))
-
+	gather := newSegGather()
+	var (
+		mu        sync.Mutex // guards res.Missing/Epochs/FailedOver and firstFail
+		firstFail error
+	)
 	var wg sync.WaitGroup
-	for i, s := range r.shards {
-		h := s.Health()
-		if !h.serving() {
-			skipped[i] = true
-			legErr[i] = fmt.Errorf("shard %s %s%s", s.id, h.State, detailSuffix(h.Detail))
-			continue
-		}
-		res.Epochs[s.id] = h.Epoch
+	for _, tuple := range segs {
 		wg.Add(1)
-		go func(i int, s *shard) {
+		go func(tuple []int) {
 			defer wg.Done()
-			legErr[i] = r.call(ctx, s,
-				func(ctx context.Context) (*http.Request, error) {
-					req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.addr+"/v1/query", bytes.NewReader(body))
-					if err != nil {
-						return nil, err
+			segID := r.ring.SegmentID(tuple)
+			wq := wireQuery{Regions: q.Regions, K: q.K, Method: q.Method}
+			if R > 1 {
+				members := make([]string, len(tuple))
+				for i, j := range tuple {
+					members[i] = shardIDs[j]
+				}
+				wq.Segment = &wireSegment{
+					Shards:  shardIDs,
+					Vnodes:  r.cfg.Map.Replicas,
+					R:       R,
+					Members: members,
+				}
+			}
+			body, err := json.Marshal(wq) // regions pass through as raw bytes
+			if err != nil {
+				mu.Lock()
+				res.Partial = true
+				res.Missing = append(res.Missing, segID)
+				if firstFail == nil {
+					firstFail = err
+				}
+				mu.Unlock()
+				return
+			}
+			var errs []error
+			for ri, j := range tuple {
+				s := r.shards[j]
+				h := s.Health()
+				if !h.serving() {
+					errs = append(errs, fmt.Errorf("replica %s %s%s", s.id, h.State, detailSuffix(h.Detail)))
+					continue
+				}
+				if why, stale := s.syncState(); stale {
+					errs = append(errs, fmt.Errorf("replica %s stale: %s", s.id, why))
+					continue
+				}
+				var list []shardResultJSON
+				err := r.callBrk(ctx, s,
+					func(ctx context.Context) (*http.Request, error) {
+						req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.addr+"/v1/query", bytes.NewReader(body))
+						if err != nil {
+							return nil, err
+						}
+						req.Header.Set("Content-Type", "application/json")
+						return req, nil
+					},
+					func(_ int, rb io.Reader) error {
+						return decodeJSONBody(rb, &list)
+					})
+				if err != nil {
+					errs = append(errs, fmt.Errorf("replica %s: %w", s.id, err))
+					if !errors.Is(err, ErrBreakerOpen) {
+						r.cfg.Logger.Printf("router: segment %s leg to replica %s failed: %v", segID, s.id, err)
 					}
-					req.Header.Set("Content-Type", "application/json")
-					return req, nil
-				},
-				func(_ int, rb io.Reader) error {
-					var list []shardResultJSON
-					if err := decodeJSONBody(rb, &list); err != nil {
-						return err
-					}
-					part := make([]search.Result, len(list))
-					for j, e := range list {
-						part[j] = search.Result{ID: e.ID, Score: e.Similarity}
-					}
-					parts[i] = part
-					return nil
-				})
-		}(i, s)
+					continue
+				}
+				part := make([]search.Result, len(list))
+				for pi, e := range list {
+					part[pi] = search.Result{ID: e.ID, Score: e.Similarity}
+				}
+				mu.Lock()
+				if gather.add(segID, part) {
+					res.Queried++
+					res.Epochs[s.id] = h.Epoch
+					res.FailedOver += ri // legs burned before this one answered
+				} else {
+					r.cfg.Logger.Printf("router: duplicate answer for segment %s dropped", segID)
+				}
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			res.Partial = true
+			res.Missing = append(res.Missing, segID)
+			if firstFail == nil && len(errs) > 0 {
+				firstFail = errs[0]
+			}
+			mu.Unlock()
+			r.cfg.Logger.Printf("router: segment %s lost: no in-sync replica answered (%v)", segID, errors.Join(errs...))
+		}(tuple)
 	}
 	wg.Wait()
 
-	var ok [][]search.Result
-	for i, s := range r.shards {
-		if legErr[i] != nil {
-			res.Partial = true
-			res.Missing = append(res.Missing, s.id)
-			delete(res.Epochs, s.id)
-			if !skipped[i] {
-				r.cfg.Logger.Printf("router: topk leg to shard %s failed: %v", s.id, legErr[i])
-			}
-			continue
-		}
-		ok = append(ok, parts[i])
-		res.Queried++
-	}
 	sort.Strings(res.Missing)
 	if res.Queried == 0 {
-		return nil, fmt.Errorf("%w: no shard answered (%d missing: %v; first: %v)",
-			ErrUnavailable, len(res.Missing), res.Missing, firstErr(legErr))
+		return nil, fmt.Errorf("%w: no segment answered (%d missing: %v; first: %v)",
+			ErrUnavailable, len(res.Missing), res.Missing, firstFail)
 	}
-	res.Results = engine.MergeParts(ok, q.K)
+	res.Results = engine.MergeParts(gather.collect(), q.K)
 	return res, nil
 }
 
@@ -146,15 +219,6 @@ func detailSuffix(detail string) string {
 		return ""
 	}
 	return ": " + detail
-}
-
-func firstErr(errs []error) error {
-	for _, e := range errs {
-		if e != nil {
-			return e
-		}
-	}
-	return nil
 }
 
 // decodeJSONBody decodes exactly one JSON value and drains the rest

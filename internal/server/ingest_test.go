@@ -348,3 +348,37 @@ func TestSealedWALSurfacesEverywhere(t *testing.T) {
 		t.Fatalf("healthz does not degrade on a sealed WAL: %v", obj)
 	}
 }
+
+// /healthz reports ingest_seq — the last durable WAL LSN — once a
+// pipeline is attached. The router's stale-replica tracking compares
+// it against acked LSNs, so it must be present, numeric, and advance
+// with every acked batch.
+func TestHealthIngestSeq(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.Handler()
+	// Without a pipeline there is no WAL, hence no ingest_seq.
+	_, obj := do(t, h, "GET", "/healthz", "")
+	if _, present := obj["ingest_seq"]; present {
+		t.Fatalf("ingest_seq present without a pipeline: %v", obj["ingest_seq"])
+	}
+
+	attach(t, s, testIngestConfig(t))
+	_, obj = do(t, h, "GET", "/healthz", "")
+	seq, ok := obj["ingest_seq"].(float64)
+	if !ok {
+		t.Fatalf("ingest_seq missing with a pipeline attached: %v", obj)
+	}
+
+	rec, ack := do(t, h, "POST", "/v1/ingest", dwellBatch(9500, 0.4, 0.4))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("ingest returned %d", rec.Code)
+	}
+	_, obj = do(t, h, "GET", "/healthz", "")
+	seq2, _ := obj["ingest_seq"].(float64)
+	if seq2 <= seq {
+		t.Fatalf("ingest_seq did not advance: %v -> %v", seq, seq2)
+	}
+	if lsn, _ := ack["lsn"].(float64); lsn != seq2 {
+		t.Fatalf("acked lsn %v != healthz ingest_seq %v", lsn, seq2)
+	}
+}

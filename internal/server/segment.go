@@ -1,0 +1,146 @@
+// Segment-restricted queries: the shard-side half of replicated
+// serving.
+//
+// With replication factor R > 1, a shard's corpus is the union of
+// several ring segments (one per distinct replica tuple it belongs
+// to), and two replicas of the same segment hold the same users. A
+// router that merged two replicas' full-corpus answers would count
+// shared users twice — topk.Collector does not deduplicate by ID, by
+// design. So the router never asks a replicated shard for its whole
+// corpus: it sends one sub-query per ring segment, and the shard
+// restricts scoring to the users whose replica tuple IS that segment.
+// Each user then appears in exactly one sub-query's answer, and the
+// merge is exact.
+//
+// The segment is self-describing: the query carries the full shard-ID
+// list and vnode count of the router's map, so the shard rebuilds the
+// identical ring (hashring placement is a pure function of shard IDs)
+// and evaluates membership locally — no second config file to drift.
+//
+// Segment answers bypass the result cache: the cache key is
+// (epoch, method, query, k) and does not include the segment, so a
+// cached full-corpus answer must never be returned for a segment
+// sub-query or vice versa. Scoring goes through the canonical kernel
+// (store.UserSimilarity + topk.Collector), which PR 8's canonical-
+// kernel property guarantees is bit-identical to every search
+// method's ranking restricted to the same users.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/hashring"
+	"geofootprint/internal/search"
+	"geofootprint/internal/topk"
+)
+
+// segmentJSON names one ring segment: the replica tuple whose users
+// this sub-query must be restricted to, plus enough of the router's
+// map (shard IDs in map order, vnode count, R) to rebuild the ring.
+type segmentJSON struct {
+	// Shards is every shard ID in the router's map, in map order —
+	// the ring is a pure function of this list and Vnodes.
+	Shards []string `json:"shards"`
+	// Vnodes is the virtual-node count per shard (hashring map
+	// "replicas"; 0 selects the default).
+	Vnodes int `json:"vnodes"`
+	// R is the replication factor users are placed with.
+	R int `json:"r"`
+	// Members is this segment's replica tuple, preference order
+	// first. A user belongs to the segment iff its own tuple equals
+	// Members exactly (order included).
+	Members []string `json:"members"`
+}
+
+// errBadSegment marks segment validation failures (client errors).
+var errBadSegment = errors.New("bad segment")
+
+// segRingCache memoises the rebuilt ring: every sub-query from the
+// same router carries the same shard list, so one entry suffices and
+// a changed map (rolling restart) simply replaces it.
+type segRingCache struct {
+	mu   sync.Mutex
+	key  string
+	ring *hashring.Ring
+}
+
+func (c *segRingCache) get(ids []string, vnodes int) (*hashring.Ring, error) {
+	key := strconv.Itoa(vnodes) + "|" + strings.Join(ids, "\x00")
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.key == key && c.ring != nil {
+		return c.ring, nil
+	}
+	ring, err := hashring.RingFromIDs(ids, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	c.key, c.ring = key, ring
+	return ring, nil
+}
+
+// segmentTopK answers a top-k query restricted to the users whose
+// replica tuple equals seg.Members. Bad segments wrap errBadSegment;
+// other errors are context cancellation.
+func (s *Server) segmentTopK(ctx context.Context, v *epochView, seg *segmentJSON, q core.Footprint, k int) ([]search.Result, error) {
+	if seg.R < 1 {
+		return nil, fmt.Errorf("%w: r must be >= 1, got %d", errBadSegment, seg.R)
+	}
+	if len(seg.Members) == 0 {
+		return nil, fmt.Errorf("%w: empty member tuple", errBadSegment)
+	}
+	ring, err := s.segRings.get(seg.Shards, seg.Vnodes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadSegment, err)
+	}
+	byID := make(map[string]int, len(seg.Shards))
+	for i, id := range seg.Shards {
+		byID[id] = i
+	}
+	want := make([]int, len(seg.Members))
+	for i, m := range seg.Members {
+		j, ok := byID[m]
+		if !ok {
+			return nil, fmt.Errorf("%w: member %q is not in the shard list", errBadSegment, m)
+		}
+		want[i] = j
+	}
+	qnorm := core.Norm(q)
+	if qnorm == 0 || k <= 0 {
+		return nil, nil
+	}
+	db := v.DB()
+	col := topk.New(k)
+	for i := range db.Footprints {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if !tupleEquals(ring.ReplicaIndices(db.IDs[i], seg.R), want) {
+			continue
+		}
+		if sim := db.UserSimilarity(i, q, qnorm); sim > 0 {
+			col.Offer(db.IDs[i], sim)
+		}
+	}
+	return col.Results(), nil
+}
+
+func tupleEquals(got, want []int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"geofootprint/internal/core"
+	"geofootprint/internal/engine"
+	"geofootprint/internal/geom"
+	"geofootprint/internal/hashring"
+	"geofootprint/internal/search"
+)
+
+const segTestRegions = `[{"rect":[0.1,0.1,0.5,0.5],"weight":1},{"rect":[0.3,0.3,0.7,0.7],"weight":2}]`
+
+func segQuery(t *testing.T, s *Server, seg *segmentJSON, method string, k int) ([]map[string]interface{}, int) {
+	t.Helper()
+	q := map[string]interface{}{"k": k, "regions": json.RawMessage(segTestRegions)}
+	if method != "" {
+		q["method"] = method
+	}
+	if seg != nil {
+		q["segment"] = seg
+	}
+	body, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := do(t, s.Handler(), "POST", "/v1/query", string(body))
+	if rec.Code != http.StatusOK {
+		return nil, rec.Code
+	}
+	var out []map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad result body: %v", err)
+	}
+	return out, rec.Code
+}
+
+// Segment sub-queries partition the corpus: over all distinct replica
+// tuples of a ring, each user is scored by exactly one segment, the
+// union of segment answers merges to the unrestricted answer, and
+// every method returns the identical segment ranking (scoring always
+// goes through the canonical kernel).
+func TestSegmentQueryPartitionsCorpus(t *testing.T) {
+	db := testCorpus(t)
+	s := New(db)
+	shardIDs := []string{"s0", "s1", "s2", "s3"}
+	ring, err := hashring.RingFromIDs(shardIDs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, R := range []int{1, 2, 3} {
+		R := R
+		t.Run(fmt.Sprintf("R=%d", R), func(t *testing.T) {
+			// The unrestricted answer, straight off the canonical scan.
+			full, code := segQuery(t, s, nil, "", 10)
+			if code != http.StatusOK {
+				t.Fatalf("full query status %d", code)
+			}
+
+			var parts [][]search.Result
+			covered := 0
+			for _, tuple := range ring.Segments(R) {
+				members := make([]string, len(tuple))
+				for i, idx := range tuple {
+					members[i] = shardIDs[idx]
+				}
+				seg := &segmentJSON{Shards: shardIDs, R: R, Members: members}
+				res, code := segQuery(t, s, seg, "", 30)
+				if code != http.StatusOK {
+					t.Fatalf("segment %v status %d", members, code)
+				}
+				part := make([]search.Result, len(res))
+				for i, r := range res {
+					part[i] = search.Result{ID: int(r["id"].(float64)), Score: r["similarity"].(float64)}
+				}
+				covered += len(part)
+				parts = append(parts, part)
+
+				// Method choice must not change a segment's answer.
+				for _, m := range []string{"linear", "iterative", "batch", "sketch"} {
+					alt, code := segQuery(t, s, seg, m, 30)
+					if code != http.StatusOK {
+						t.Fatalf("segment %v method %s status %d", members, m, code)
+					}
+					if len(alt) != len(res) {
+						t.Fatalf("segment %v method %s returned %d results, want %d", members, m, len(alt), len(res))
+					}
+					for i := range alt {
+						if alt[i]["id"] != res[i]["id"] || alt[i]["similarity"] != res[i]["similarity"] {
+							t.Fatalf("segment %v method %s diverged at rank %d", members, m, i)
+						}
+					}
+				}
+			}
+
+			// No user may be claimed by two segments (k=30 covers the
+			// whole 30-user corpus, so counts are exhaustive).
+			seen := map[int]bool{}
+			for _, part := range parts {
+				for _, r := range part {
+					if seen[r.ID] {
+						t.Fatalf("user %d scored by two segments", r.ID)
+					}
+					seen[r.ID] = true
+				}
+			}
+
+			// Merging the parts reproduces the unrestricted top-k exactly.
+			merged := engine.MergeParts(parts, 10)
+			if len(merged) != len(full) {
+				t.Fatalf("merged %d results, full answer has %d", len(merged), len(full))
+			}
+			for i := range merged {
+				if merged[i].ID != int(full[i]["id"].(float64)) || merged[i].Score != full[i]["similarity"].(float64) {
+					t.Fatalf("rank %d: merged (%d,%v) != full (%v,%v)",
+						i, merged[i].ID, merged[i].Score, full[i]["id"], full[i]["similarity"])
+				}
+			}
+		})
+	}
+}
+
+// Malformed segments are client errors, not silent empty answers.
+func TestSegmentQueryValidation(t *testing.T) {
+	db := testCorpus(t)
+	s := New(db)
+	shardIDs := []string{"s0", "s1"}
+	cases := []struct {
+		name string
+		seg  *segmentJSON
+	}{
+		{"zero R", &segmentJSON{Shards: shardIDs, R: 0, Members: []string{"s0"}}},
+		{"no members", &segmentJSON{Shards: shardIDs, R: 1}},
+		{"unknown member", &segmentJSON{Shards: shardIDs, R: 1, Members: []string{"ghost"}}},
+		{"empty shard list", &segmentJSON{R: 1, Members: []string{"s0"}}},
+	}
+	for _, tc := range cases {
+		if _, code := segQuery(t, s, tc.seg, "", 5); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+	}
+}
+
+// The segment path bypasses the result cache in both directions: a
+// cached full-corpus answer is not served for a segment, and a
+// segment answer is not cached for the full query.
+func TestSegmentQueryBypassesCache(t *testing.T) {
+	db := testCorpus(t)
+	s := NewWithOptions(db, Options{CacheSize: 64})
+	shardIDs := []string{"s0", "s1"}
+	ring, err := hashring.RingFromIDs(shardIDs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the cache with the full answer, then issue each R=1
+	// segment: their union must equal the corpus, which fails if any
+	// segment was answered from the full-query cache entry.
+	full, _ := segQuery(t, s, nil, "", 30)
+	total := 0
+	for _, tuple := range ring.Segments(1) {
+		seg := &segmentJSON{Shards: shardIDs, R: 1, Members: []string{shardIDs[tuple[0]]}}
+		res, code := segQuery(t, s, seg, "", 30)
+		if code != http.StatusOK {
+			t.Fatalf("segment status %d", code)
+		}
+		if len(res) == len(full) && len(full) > 0 {
+			// Possible only if one shard owns every scoring user —
+			// not with this corpus and ring.
+			t.Fatalf("segment answer has the full corpus size %d — served from the full-query cache?", len(res))
+		}
+		total += len(res)
+	}
+	if total != len(full) {
+		t.Fatalf("segments cover %d users, full answer %d", total, len(full))
+	}
+}
+
+// The ring rebuilt from the wire segment agrees with the router's
+// addressed ring — placement is a pure function of shard IDs.
+func TestSegmentRingCacheReuse(t *testing.T) {
+	var c segRingCache
+	ids := []string{"a", "b", "c"}
+	r1, err := c.get(ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.get(ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("identical shard list rebuilt the ring")
+	}
+	r3, err := c.get([]string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Fatal("changed shard list reused the stale ring")
+	}
+}
+
+// segmentTopK honours context cancellation like every other query
+// path.
+func TestSegmentQueryCancellation(t *testing.T) {
+	db := testCorpus(t)
+	s := New(db)
+	ep, v := s.acquire()
+	defer ep.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := core.Footprint{{Rect: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, Weight: 1}}
+	seg := &segmentJSON{Shards: []string{"s0"}, R: 1, Members: []string{"s0"}}
+	if _, err := s.segmentTopK(ctx, v, seg, f, 5); err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("cancelled segment query returned %v", err)
+	}
+}

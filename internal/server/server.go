@@ -31,6 +31,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -43,6 +44,7 @@ import (
 	"geofootprint/internal/engine"
 	"geofootprint/internal/geom"
 	"geofootprint/internal/ingest"
+	"geofootprint/internal/search"
 	"geofootprint/internal/store"
 )
 
@@ -65,6 +67,11 @@ type Server struct {
 
 	pipe *ingest.Pipeline // nil until AttachPipeline
 	mux  *http.ServeMux
+
+	// segRings memoises the ring rebuilt for segment-restricted
+	// queries (segment.go); every sub-query from the same router map
+	// hits the one cached entry.
+	segRings segRingCache
 
 	// Overload safety (middleware.go): options, the top-k admission
 	// gate (nil when unlimited), and the shutdown drain flag.
@@ -207,6 +214,11 @@ type queryJSON struct {
 	// Section 6 methods, "sketch" for the sketch filter-and-refine
 	// engine. All return identical rankings; they differ in cost.
 	Method string `json:"method,omitempty"`
+	// Segment, when set, restricts the answer to the users whose
+	// replica tuple equals the segment (segment.go). Segment answers
+	// bypass the result cache and always score through the canonical
+	// kernel, so they are exact for every method.
+	Segment *segmentJSON `json:"segment,omitempty"`
 }
 
 type errorJSON struct {
@@ -281,6 +293,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// writes durable, and that must be visible to the shallowest
 	// possible probe.
 	if s.pipe != nil {
+		// ingest_seq is the last WAL LSN this shard made durable. The
+		// router compares it against the LSNs it saw acked: a replica
+		// reporting a lower seq than its acked high-water mark lost
+		// writes (restore from an older snapshot) and is stale for
+		// reads until it catches back up.
+		out["ingest_seq"] = s.pipe.Stats().Appended
 		if werr := s.pipe.WALErr(); werr != nil {
 			out["status"] = "degraded"
 			out["wal_sealed"] = true
@@ -417,13 +435,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ep, v := s.acquire()
 	defer ep.Release()
-	res, _, err := v.TopKCached(r.Context(), s.cache, ep.Seq(), q.Method, f, q.K)
-	if err != nil {
-		if _, methodErr := v.Engine(q.Method); methodErr != nil {
-			writeError(w, http.StatusBadRequest, "%v", methodErr)
-			return
+	// Reject unknown methods on the segment path too, so replicated
+	// clusters keep the single-node API contract.
+	if _, methodErr := v.Engine(q.Method); methodErr != nil {
+		writeError(w, http.StatusBadRequest, "%v", methodErr)
+		return
+	}
+	var res []search.Result
+	if q.Segment != nil {
+		res, err = s.segmentTopK(r.Context(), v, q.Segment, f, q.K)
+		if err != nil {
+			if errors.Is(err, errBadSegment) {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			if writeQueryCtxErr(w, err) {
+				return
+			}
 		}
-		if writeQueryCtxErr(w, err) {
+	} else {
+		res, _, err = v.TopKCached(r.Context(), s.cache, ep.Seq(), q.Method, f, q.K)
+		if err != nil && writeQueryCtxErr(w, err) {
 			return
 		}
 	}

@@ -70,6 +70,16 @@ go test -race -run '(Fault|Chaos|Crash|Seal|Epoch)' \
 echo "== cluster: cross-shard scatter-gather equivalence suite (-race) =="
 go test -race -count=1 -run 'TestCluster|TestCoordinator' ./internal/router/ ./cmd/georouter/
 
+# Network-chaos suite for the replicated plane: netfault and breaker
+# unit suites, then the chaos matrix (fault schedules × R ∈ {1,2,3}:
+# byte-identical or explicit partial naming lost ring segments),
+# all-methods failover with a shard down, and the stale-replica /
+# hinted-handoff / seq-regression machinery. Same -race rationale.
+echo "== cluster-chaos: netfault matrix, failover, breaker & stale-replica suite (-race) =="
+go test -race -count=1 ./internal/netfault/ ./internal/breaker/
+go test -race -count=1 -run 'Chaos|Failover|Breaker|Stale|Replica|Segment' \
+	./internal/router/ ./internal/server/ ./internal/hashring/
+
 # Snapshot-format migration self-test: gob -> columnar -> gob must be
 # byte-identical, so operators can migrate snapshots in either
 # direction without a diffing step.
